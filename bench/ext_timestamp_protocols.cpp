@@ -1,0 +1,68 @@
+// Extension experiment (not a paper figure): the three timestamp-ordered
+// protocols side by side — Mencius (slot pre-assignment, no quorums for
+// delivery), Clock-RSM (physical clocks, quorum replication, all-node
+// delivery gate) and CAESAR (logical timestamps confirmed by a fast
+// quorum). Quantifies §II's argument for why CAESAR's quorum-confirmed
+// timestamps beat both "wait for everyone" designs in geo deployments.
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace {
+
+using namespace caesar;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ProtocolKind;
+using harness::Table;
+
+ExperimentResult run(ProtocolKind kind, double conflict) {
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.workload.clients_per_site = 10;
+  cfg.workload.conflict_fraction = conflict;
+  cfg.duration = 10 * kSec;
+  cfg.warmup = 2 * kSec;
+  cfg.seed = 14;
+  cfg.caesar.gossip_interval_us = 200 * kMs;
+  return harness::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  harness::print_figure_header(
+      "Extension", "timestamp-ordered protocols: Mencius / Clock-RSM / CAESAR",
+      "paper §II: Mencius and Clock-RSM need confirmation from ALL nodes "
+      "before delivering; CAESAR's fast quorum avoids the slowest-node bound");
+
+  Table t({"conflict%", "Mencius(ms)", "ClockRSM(ms)", "Caesar(ms)",
+           "Mencius p99", "ClockRSM p99", "Caesar p99"});
+  for (double c : {0.0, 0.10, 0.30}) {
+    ExperimentResult me = run(ProtocolKind::kMencius, c);
+    ExperimentResult cr = run(ProtocolKind::kClockRsm, c);
+    ExperimentResult cs = run(ProtocolKind::kCaesar, c);
+    t.add_row({Table::num(c * 100, 0), Table::ms(me.total_latency.mean()),
+               Table::ms(cr.total_latency.mean()),
+               Table::ms(cs.total_latency.mean()),
+               Table::ms(static_cast<double>(me.total_latency.percentile(99))),
+               Table::ms(static_cast<double>(cr.total_latency.percentile(99))),
+               Table::ms(static_cast<double>(cs.total_latency.percentile(99)))});
+  }
+  t.print();
+
+  // Per-site view at 0%: the farthest site dominates the all-node designs.
+  ExperimentResult me = run(ProtocolKind::kMencius, 0.0);
+  ExperimentResult cr = run(ProtocolKind::kClockRsm, 0.0);
+  ExperimentResult cs = run(ProtocolKind::kCaesar, 0.0);
+  std::cout << "\nPer-site mean latency at 0% conflicts:\n";
+  Table t2({"site", "Mencius(ms)", "ClockRSM(ms)", "Caesar(ms)"});
+  for (std::size_t s = 0; s < me.sites.size(); ++s) {
+    t2.add_row({me.sites[s].name, Table::ms(me.sites[s].latency.mean()),
+                Table::ms(cr.sites[s].latency.mean()),
+                Table::ms(cs.sites[s].latency.mean())});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 9 reproduction: total throughput while varying the conflict
+// percentage, for all six deployments (CAESAR, EPaxos, M2Paxos, Mencius,
+// Multi-Paxos-IR, Multi-Paxos-IN), with batching disabled (top panel) and
+// enabled (bottom panel; the paper's Mencius implementation lacks batching,
+// ours follows suit).
+//
+// Paper shape, batching off: CAESAR loses only ~17% from 0%->10% conflicts
+// while EPaxos/M2Paxos lose 24%/45%; M2Paxos best at 100%.
+// Batching on: CAESAR sustains ~3x EPaxos up to 10%; EPaxos best at >=50%.
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace {
+
+using namespace caesar;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ProtocolKind;
+using harness::Table;
+
+ExperimentResult run(ProtocolKind kind, double conflict, bool batching,
+                     NodeId mpaxos_leader = 3) {
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.workload.clients_per_site = 800;  // saturating closed-loop pool
+  cfg.workload.conflict_fraction = conflict;
+  cfg.multipaxos.leader = mpaxos_leader;
+  cfg.node.base_service_us = 15;
+  cfg.node.batching = batching;
+  cfg.node.batch_delay_us = 2 * kMs;
+  cfg.node.batch_max_ops = 96;
+  cfg.duration = 5 * kSec;
+  cfg.warmup = 1500 * kMs;
+  cfg.seed = 9;
+  cfg.caesar.gossip_interval_us = 100 * kMs;
+  cfg.check_consistency = false;  // throughput runs are large
+  return harness::run_experiment(cfg);
+}
+
+void panel(bool batching) {
+  std::cout << "\n-- batching " << (batching ? "ENABLED" : "DISABLED")
+            << " (throughput, 1000 x cmds/s) --\n";
+  const double conflicts[] = {0.0, 0.02, 0.10, 0.30, 0.50, 1.0};
+  std::vector<std::string> headers = {"conflict%", "Caesar", "EPaxos",
+                                      "M2Paxos"};
+  if (!batching) headers.push_back("Mencius");
+  headers.push_back("MPaxos-IR");
+  headers.push_back("MPaxos-IN");
+  Table t(std::move(headers));
+  for (double c : conflicts) {
+    std::vector<std::string> row{Table::num(c * 100, 0)};
+    row.push_back(Table::num(
+        run(ProtocolKind::kCaesar, c, batching).throughput_tps / 1000.0, 1));
+    row.push_back(Table::num(
+        run(ProtocolKind::kEPaxos, c, batching).throughput_tps / 1000.0, 1));
+    row.push_back(Table::num(
+        run(ProtocolKind::kM2Paxos, c, batching).throughput_tps / 1000.0, 1));
+    if (!batching) {
+      // Mencius and Multi-Paxos are conflict-oblivious; the paper plots them
+      // as flat lines — measure once at 0% semantics regardless of c.
+      row.push_back(Table::num(
+          run(ProtocolKind::kMencius, c, batching).throughput_tps / 1000.0,
+          1));
+    }
+    row.push_back(Table::num(
+        run(ProtocolKind::kMultiPaxos, c, batching, 3).throughput_tps / 1000.0,
+        1));
+    row.push_back(Table::num(
+        run(ProtocolKind::kMultiPaxos, c, batching, 4).throughput_tps / 1000.0,
+        1));
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  harness::print_figure_header(
+      "Figure 9", "throughput vs conflict %, batching off (top) / on (bottom)",
+      "no-batch: CAESAR -17% at 10% conflicts vs EPaxos -24% / M2Paxos -45%; "
+      "batch: CAESAR ~3x EPaxos at <=10%, EPaxos leads at >=50%");
+  panel(/*batching=*/false);
+  panel(/*batching=*/true);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark micro-benchmarks for the hot data structures the
+// protocols lean on: serialization, the event queue, IdSet unions, the
+// per-key conflict index pattern, and EPaxos-style SCC traversal.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/idset.h"
+#include "core/timestamp.h"
+#include "net/serialization.h"
+#include "rsm/command.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace caesar;
+
+void BM_EncodeCommand(benchmark::State& state) {
+  rsm::Command cmd;
+  cmd.id = make_cmd_id(2, 77);
+  cmd.origin = 2;
+  for (int i = 0; i < state.range(0); ++i) {
+    cmd.ops.push_back(rsm::Op{static_cast<Key>(i), make_req_id(2, i), 42});
+  }
+  cmd.finalize();
+  for (auto _ : state) {
+    net::Encoder e(64);
+    cmd.encode(e);
+    benchmark::DoNotOptimize(e.buffer().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeCommand)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_DecodeCommand(benchmark::State& state) {
+  rsm::Command cmd;
+  cmd.id = make_cmd_id(2, 77);
+  cmd.origin = 2;
+  for (int i = 0; i < state.range(0); ++i) {
+    cmd.ops.push_back(rsm::Op{static_cast<Key>(i), make_req_id(2, i), 42});
+  }
+  cmd.finalize();
+  net::Encoder e;
+  cmd.encode(e);
+  const auto buf = e.buffer();
+  for (auto _ : state) {
+    net::Decoder d{std::span<const std::byte>(buf)};
+    rsm::Command back = rsm::Command::decode(d);
+    benchmark::DoNotOptimize(back.ops.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeCommand)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_IdSetDeltaEncode(benchmark::State& state) {
+  IdSet s;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    s.insert(make_cmd_id(static_cast<NodeId>(i % 5), 1000 + i));
+  }
+  for (auto _ : state) {
+    net::Encoder e(1024);
+    e.put_id_set(s);
+    benchmark::DoNotOptimize(e.buffer().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_IdSetDeltaEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_IdSetMerge(benchmark::State& state) {
+  IdSet a, b;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    a.insert(static_cast<std::uint64_t>(i * 2));
+    b.insert(static_cast<std::uint64_t>(i * 2 + 1));
+  }
+  for (auto _ : state) {
+    IdSet c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_IdSetMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.after(static_cast<Time>(sim.rng().uniform_int(10000)),
+                [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000);
+
+void BM_ConflictIndexScan(benchmark::State& state) {
+  // The CAESAR COMPUTEPREDECESSORS pattern: ordered scan of a per-key
+  // timestamp index below a bound.
+  std::map<core::Timestamp, CmdId> index;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    index.emplace(core::Timestamp{static_cast<std::uint64_t>(i + 1),
+                                  static_cast<NodeId>(i % 5)},
+                  make_cmd_id(static_cast<NodeId>(i % 5), i));
+  }
+  const core::Timestamp bound{static_cast<std::uint64_t>(state.range(0) / 2), 0};
+  for (auto _ : state) {
+    std::vector<std::uint64_t> pred;
+    for (auto it = index.begin(); it != index.end() && it->first < bound; ++it) {
+      pred.push_back(it->second);
+    }
+    benchmark::DoNotOptimize(pred.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 2);
+}
+BENCHMARK(BM_ConflictIndexScan)->Arg(64)->Arg(1024);
+
+void BM_TimestampClock(benchmark::State& state) {
+  core::TimestampClock clock(3);
+  for (auto _ : state) {
+    clock.observe(core::Timestamp{clock.raw() + 2, 1});
+    benchmark::DoNotOptimize(clock.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimestampClock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// consensus_cli: a small command-line driver over the experiment harness so
+// downstream users can explore the protocol space without writing C++.
+//
+//   $ ./examples/consensus_cli --protocol=caesar --conflict=30 \
+//         --clients=50 --duration=10 --batching --seed=7
+//
+// Prints per-site latency, throughput, decision-path statistics and the
+// cross-site consistency verdict.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace caesar;
+
+namespace {
+
+std::optional<harness::ProtocolKind> parse_protocol(const std::string& name) {
+  if (name == "caesar") return harness::ProtocolKind::kCaesar;
+  if (name == "epaxos") return harness::ProtocolKind::kEPaxos;
+  if (name == "m2paxos") return harness::ProtocolKind::kM2Paxos;
+  if (name == "mencius") return harness::ProtocolKind::kMencius;
+  if (name == "multipaxos") return harness::ProtocolKind::kMultiPaxos;
+  if (name == "clockrsm") return harness::ProtocolKind::kClockRsm;
+  return std::nullopt;
+}
+
+void usage() {
+  std::cout <<
+      "usage: consensus_cli [options]\n"
+      "  --protocol=NAME   caesar|epaxos|m2paxos|mencius|multipaxos|clockrsm\n"
+      "                    (default caesar)\n"
+      "  --conflict=PCT    conflicting-command percentage (default 10)\n"
+      "  --clients=N       closed-loop clients per site (default 10)\n"
+      "  --duration=SEC    simulated seconds (default 10)\n"
+      "  --seed=N          simulation seed (default 1)\n"
+      "  --leader=SITE     Multi-Paxos leader site index (default 3=Ireland)\n"
+      "  --batching        enable request batching\n"
+      "  --no-wait         CAESAR ablation: disable the wait condition\n"
+      "  --crash=SITE      crash this site halfway through the run\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  cfg.workload.conflict_fraction = 0.10;
+  cfg.duration = 10 * kSec;
+  cfg.warmup = 2 * kSec;
+  cfg.caesar.gossip_interval_us = 200 * kMs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(len);
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (auto v = value_of("--protocol=")) {
+      auto kind = parse_protocol(*v);
+      if (!kind) {
+        std::cerr << "unknown protocol: " << *v << "\n";
+        return 2;
+      }
+      cfg.protocol = *kind;
+    } else if (auto v = value_of("--conflict=")) {
+      cfg.workload.conflict_fraction = std::atof(v->c_str()) / 100.0;
+    } else if (auto v = value_of("--clients=")) {
+      cfg.workload.clients_per_site =
+          static_cast<std::uint32_t>(std::atoi(v->c_str()));
+    } else if (auto v = value_of("--duration=")) {
+      cfg.duration = static_cast<Time>(std::atof(v->c_str()) * kSec);
+      cfg.warmup = cfg.duration / 5;
+    } else if (auto v = value_of("--seed=")) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+    } else if (auto v = value_of("--leader=")) {
+      cfg.multipaxos.leader = static_cast<NodeId>(std::atoi(v->c_str()));
+    } else if (arg == "--batching") {
+      cfg.node.batching = true;
+    } else if (arg == "--no-wait") {
+      cfg.caesar.wait_enabled = false;
+    } else if (auto v = value_of("--crash=")) {
+      cfg.crash_node = static_cast<NodeId>(std::atoi(v->c_str()));
+      cfg.crash_at = cfg.duration / 2;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::cout << "protocol=" << to_string(cfg.protocol)
+            << " conflict=" << cfg.workload.conflict_fraction * 100 << "%"
+            << " clients/site=" << cfg.workload.clients_per_site
+            << " duration=" << cfg.duration / kSec << "s seed=" << cfg.seed
+            << (cfg.node.batching ? " batching" : "")
+            << (cfg.caesar.wait_enabled ? "" : " no-wait") << "\n\n";
+
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+
+  harness::Table t({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
+  for (const auto& s : r.sites) {
+    t.add_row({s.name, harness::Table::ms(s.latency.mean()),
+               harness::Table::ms(static_cast<double>(s.latency.percentile(50))),
+               harness::Table::ms(static_cast<double>(s.latency.percentile(99))),
+               std::to_string(s.latency.count())});
+  }
+  t.print();
+  std::cout << "\nthroughput: " << harness::Table::num(r.throughput_tps, 0)
+            << " cmd/s"
+            << "\ncompleted: " << r.completed << " / submitted: " << r.submitted
+            << "\nfast decisions: " << r.proto.fast_decisions
+            << "  slow: " << r.proto.slow_decisions
+            << "  retries: " << r.proto.retries
+            << "  recoveries: " << r.proto.recoveries
+            << "\nmessages: " << r.messages << "  bytes: " << r.bytes
+            << "\nconsistent: " << (r.consistent ? "yes" : "NO") << "\n";
+  return r.consistent ? 0 : 1;
+}

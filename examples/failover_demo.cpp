@@ -1,0 +1,50 @@
+// Failover demo: crash a site mid-run and watch CAESAR's recovery protocol
+// finish the dead leader's in-flight commands while clients reconnect —
+// the paper's Fig 12 scenario as an interactive walkthrough.
+//
+//   $ ./examples/failover_demo
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace caesar;
+
+int main() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::ProtocolKind::kCaesar;
+  cfg.workload.clients_per_site = 50;
+  cfg.workload.conflict_fraction = 0.05;
+  cfg.workload.reconnect_delay_us = 1 * kSec;
+  cfg.duration = 16 * kSec;
+  cfg.warmup = 0;
+  cfg.crash_node = 2;  // Frankfurt dies...
+  cfg.crash_at = 8 * kSec;  // ...halfway through
+  cfg.fd_timeout_us = 800 * kMs;
+  cfg.caesar.gossip_interval_us = 200 * kMs;
+  cfg.timeline_bucket = 1 * kSec;
+
+  std::cout << "CAESAR cluster, 250 clients; Frankfurt crashes at t=8s\n\n";
+  harness::ExperimentResult r = harness::run_experiment(cfg);
+
+  harness::Table t({"t(s)", "completions/s", ""});
+  double peak = 0;
+  for (std::size_t b = 0; b < r.timeline.bucket_count(); ++b) {
+    peak = std::max(peak, r.timeline.rate_at(b));
+  }
+  for (std::size_t b = 0; b < r.timeline.bucket_count(); ++b) {
+    const double rate = r.timeline.rate_at(b);
+    const int bars = peak > 0 ? static_cast<int>(40.0 * rate / peak) : 0;
+    std::string bar(static_cast<std::size_t>(bars), '#');
+    if (b == 8) bar += "   <- crash";
+    t.add_row({std::to_string(b), harness::Table::num(rate, 0), bar});
+  }
+  t.print();
+
+  std::cout << "\nRecovery procedures run by survivors: " << r.proto.recoveries
+            << "\nSurvivor consistency: " << (r.consistent ? "verified" : "VIOLATED")
+            << "\nCompleted " << r.completed << "/" << r.submitted
+            << " requests (in-flight requests at the dead site were "
+               "resubmitted elsewhere)\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "clockrsm/clock_rsm.h"
+
+#include "common/logging.h"
+
+namespace caesar::clockrsm {
+
+ClockRsm::ClockRsm(rt::Env& env, DeliverFn deliver, ClockRsmConfig cfg,
+                   stats::ProtocolStats* stats)
+    : rt::Protocol(env, std::move(deliver)),
+      cfg_(cfg),
+      stats_(stats),
+      n_(env.cluster_size()),
+      cq_(classic_quorum_size(env.cluster_size())),
+      clocks_(env.cluster_size(), 0) {
+  // Fixed per-node skew in [-max_skew, +max_skew].
+  const Time span = 2 * cfg_.max_skew_us + 1;
+  skew_ = static_cast<Time>(env_.rng().uniform_int(
+              static_cast<std::uint64_t>(span))) -
+          cfg_.max_skew_us;
+}
+
+Time ClockRsm::physical_now() const {
+  const Time t = env_.now() + skew_;
+  return t > 0 ? t : 0;
+}
+
+void ClockRsm::start() {
+  env_.set_timer(cfg_.clock_broadcast_us, [this] { clock_tick(); });
+}
+
+void ClockRsm::clock_tick() {
+  const Time now = physical_now();
+  if (now > clocks_[env_.id()]) clocks_[env_.id()] = now;
+  net::Encoder e;
+  e.put_i64(clocks_[env_.id()]);
+  env_.broadcast(kClock, std::move(e), /*include_self=*/false);
+  try_deliver();
+  env_.set_timer(cfg_.clock_broadcast_us, [this] { clock_tick(); });
+}
+
+void ClockRsm::propose(rsm::Command cmd) {
+  // Stamp with the physical clock, kept locally monotone under skew.
+  Time t = physical_now();
+  if (t <= last_stamp_) t = last_stamp_ + 1;
+  last_stamp_ = t;
+  if (t > clocks_[env_.id()]) clocks_[env_.id()] = t;
+
+  const Stamp stamp{t, env_.id()};
+  net::Encoder e;
+  e.put_i64(t);
+  cmd.encode(e);
+  log_.emplace(stamp, Entry{std::move(cmd), 1, false, env_.now()});
+  env_.broadcast(kPropose, std::move(e), /*include_self=*/false);
+  try_deliver();
+}
+
+void ClockRsm::handle_propose(NodeId from, net::Decoder& d) {
+  const Time t = d.get_i64();
+  rsm::Command cmd = rsm::Command::decode(d);
+  // A proposer's stamp doubles as a clock announcement: it will never stamp
+  // below t again (FIFO links make this sound).
+  note_clock(from, t);
+  auto [it, inserted] =
+      log_.emplace(Stamp{t, from}, Entry{std::move(cmd), 1, false, 0});
+  if (!inserted) return;  // duplicate
+  net::Encoder e;
+  e.put_i64(t);
+  e.put_u32(from);
+  env_.send(from, kAck, std::move(e));
+  try_deliver();
+}
+
+void ClockRsm::handle_ack(net::Decoder& d) {
+  const Time t = d.get_i64();
+  const NodeId node = d.get_u32();
+  auto it = log_.find(Stamp{t, node});
+  if (it == log_.end()) return;  // already delivered
+  Entry& entry = it->second;
+  if (entry.committed) return;
+  if (++entry.acks < cq_) return;
+  // Durably replicated: tell everyone (the leader relays commit knowledge,
+  // FIFO after its original propose).
+  entry.committed = true;
+  if (stats_ != nullptr && entry.proposed_at != 0) {
+    ++stats_->fast_decisions;  // replicated; Clock-RSM has one decision mode
+    stats_->propose_phase.record(env_.now() - entry.proposed_at);
+  }
+  net::Encoder e;
+  e.put_i64(t);
+  e.put_u32(node);
+  env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+  try_deliver();
+}
+
+void ClockRsm::handle_commit(net::Decoder& d) {
+  const Time t = d.get_i64();
+  const NodeId node = d.get_u32();
+  auto it = log_.find(Stamp{t, node});
+  if (it == log_.end()) return;  // already delivered
+  it->second.committed = true;
+  try_deliver();
+}
+
+void ClockRsm::note_clock(NodeId node, Time value) {
+  if (value > clocks_[node]) clocks_[node] = value;
+}
+
+void ClockRsm::try_deliver() {
+  // Deliver stable commands in stamp order once no node can still produce a
+  // smaller stamp: min over all known clocks must exceed the stamp.
+  Time min_clock = clocks_[0];
+  for (Time c : clocks_) min_clock = std::min(min_clock, c);
+  while (!log_.empty()) {
+    auto it = log_.begin();
+    if (it->first.t >= min_clock) break;  // someone may still undercut
+    if (!it->second.committed) break;     // not durably replicated yet
+    deliver_(it->second.cmd);
+    log_.erase(it);
+  }
+}
+
+void ClockRsm::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
+  switch (static_cast<MsgType>(type)) {
+    case kPropose:
+      handle_propose(from, d);
+      break;
+    case kAck:
+      handle_ack(d);
+      break;
+    case kCommit:
+      handle_commit(d);
+      break;
+    case kClock:
+      note_clock(from, d.get_i64());
+      try_deliver();
+      break;
+    default:
+      log::warn("clockrsm: unknown message type ", type);
+  }
+}
+
+}  // namespace caesar::clockrsm

@@ -1,0 +1,95 @@
+// Clock-RSM (Du et al., DSN 2014) — extension beyond the paper's evaluated
+// baselines; §II discusses it as the closest timestamp-based relative:
+// "Although Clock-RSM is multi-leader like CAESAR, and it relies on quorums
+//  to implement replication, it suffers from the same drawbacks of Mencius,
+//  namely the need of a confirmation that no other command with an earlier
+//  timestamp has been concurrently proposed."
+//
+// Every node stamps its commands with its (loosely synchronized) physical
+// clock and replicates them to all. A command commits once a majority has
+// acknowledged it, but it can only *deliver* after every node's clock has
+// provably passed its timestamp (so no earlier-stamped command can still
+// appear) and all earlier-stamped commands have been delivered. Idle nodes
+// advance others via periodic clock announcements. Delivery latency is
+// therefore governed by the farthest node — the weakness CAESAR's
+// quorum-confirmed timestamps remove.
+//
+// Clock skew is simulated: each node's physical clock is the simulation
+// clock plus a fixed per-node offset within ±max_skew_us.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/protocol.h"
+#include "stats/protocol_stats.h"
+
+namespace caesar::clockrsm {
+
+struct ClockRsmConfig {
+  /// Period of idle clock announcements.
+  Time clock_broadcast_us = 10 * kMs;
+  /// Simulated clock skew bound: each node gets a fixed offset in
+  /// [-max_skew_us, +max_skew_us].
+  Time max_skew_us = 2 * kMs;
+};
+
+class ClockRsm final : public rt::Protocol {
+ public:
+  ClockRsm(rt::Env& env, DeliverFn deliver, ClockRsmConfig cfg,
+           stats::ProtocolStats* stats);
+
+  void start() override;
+  void propose(rsm::Command cmd) override;
+  void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  std::string_view name() const override { return "ClockRSM"; }
+
+  // --- introspection -------------------------------------------------------
+  Time physical_now() const;
+  Time known_clock(NodeId node) const { return clocks_[node]; }
+  std::size_t undelivered() const { return log_.size(); }
+
+ private:
+  enum MsgType : std::uint16_t {
+    kPropose = 1,  // leader -> all: command with its physical timestamp
+    kAck = 2,      // acceptor -> leader: replicated
+    kClock = 3,    // periodic clock announcement
+    kCommit = 4,   // leader -> all: majority reached
+  };
+
+  /// Timestamps order by (time, node) so stamps are cluster-unique.
+  struct Stamp {
+    Time t = 0;
+    NodeId node = 0;
+    auto operator<=>(const Stamp&) const = default;
+  };
+
+  struct Entry {
+    rsm::Command cmd;
+    std::uint32_t acks = 1;  // proposer counts itself
+    bool committed = false;  // majority-replicated
+    Time proposed_at = 0;    // leader-side instrumentation (0 on acceptors)
+  };
+
+  void handle_propose(NodeId from, net::Decoder& d);
+  void handle_ack(net::Decoder& d);
+  void handle_commit(net::Decoder& d);
+  void note_clock(NodeId node, Time value);
+  void try_deliver();
+  void clock_tick();
+
+  ClockRsmConfig cfg_;
+  stats::ProtocolStats* stats_;
+  std::size_t n_;
+  std::size_t cq_;
+  Time skew_;
+
+  /// All known commands ordered by stamp; delivered entries are erased.
+  std::map<Stamp, Entry> log_;
+  /// Latest clock value known per node (a node never stamps below this).
+  std::vector<Time> clocks_;
+  Time last_stamp_ = 0;  // local monotonicity guard under skew
+};
+
+}  // namespace caesar::clockrsm

@@ -1,0 +1,101 @@
+// IdSet: an ordered set of 64-bit ids stored as a sorted vector.
+//
+// Predecessor sets, dependency sets and delivered-id sets are unioned,
+// serialized and iterated far more often than they are point-queried, which
+// makes a contiguous sorted vector strictly better than a node-based set for
+// this workload (cache-friendly unions, trivially serializable).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace caesar {
+
+class IdSet {
+ public:
+  using value_type = std::uint64_t;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  IdSet() = default;
+  IdSet(std::initializer_list<value_type> ids) {
+    ids_.assign(ids.begin(), ids.end());
+    normalize();
+  }
+
+  /// Builds a set from an arbitrary (possibly unsorted) vector.
+  static IdSet from_vector(std::vector<value_type> v) {
+    IdSet s;
+    s.ids_ = std::move(v);
+    s.normalize();
+    return s;
+  }
+
+  /// Inserts `id`; returns true if it was not already present.
+  bool insert(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) return false;
+    ids_.insert(it, id);
+    return true;
+  }
+
+  /// Removes `id`; returns true if it was present.
+  bool erase(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) return false;
+    ids_.erase(it);
+    return true;
+  }
+
+  bool contains(value_type id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  /// Set union in place: this = this ∪ other.
+  void merge(const IdSet& other) {
+    if (other.empty()) return;
+    std::vector<value_type> out;
+    out.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                   other.ids_.end(), std::back_inserter(out));
+    ids_ = std::move(out);
+  }
+
+  /// True if the two sets share at least one element.
+  bool intersects(const IdSet& other) const {
+    auto a = ids_.begin();
+    auto b = other.ids_.begin();
+    while (a != ids_.end() && b != other.ids_.end()) {
+      if (*a == *b) return true;
+      if (*a < *b) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+  void reserve(std::size_t n) { ids_.reserve(n); }
+
+  const_iterator begin() const { return ids_.begin(); }
+  const_iterator end() const { return ids_.end(); }
+
+  const std::vector<value_type>& raw() const { return ids_; }
+
+  friend bool operator==(const IdSet&, const IdSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  std::vector<value_type> ids_;
+};
+
+}  // namespace caesar

@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace caesar::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void emit(Level level, std::string_view msg) {
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace caesar::log

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Deliberately tiny: benches run with logging off, tests flip to kDebug when
+// diagnosing a failure. Formatting is stream-based to avoid a format-library
+// dependency.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace caesar::log {
+
+enum class Level { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_level(Level level);
+Level level();
+
+namespace detail {
+void emit(Level level, std::string_view msg);
+
+template <class... Args>
+void log_at(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  emit(lvl, os.str());
+}
+}  // namespace detail
+
+template <class... Args>
+void debug(Args&&... args) {
+  detail::log_at(Level::kDebug, std::forward<Args>(args)...);
+}
+template <class... Args>
+void info(Args&&... args) {
+  detail::log_at(Level::kInfo, std::forward<Args>(args)...);
+}
+template <class... Args>
+void warn(Args&&... args) {
+  detail::log_at(Level::kWarn, std::forward<Args>(args)...);
+}
+template <class... Args>
+void error(Args&&... args) {
+  detail::log_at(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace caesar::log

@@ -1,0 +1,51 @@
+// Seeded random number generator wrapper.
+//
+// Every stochastic component (network jitter, workload key choice, client
+// think times) draws from an Rng owned by the simulation so that a run is a
+// pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace caesar {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+
+  std::uint64_t next_u64() { return eng_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(eng_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(eng_); }
+
+  /// Exponential with the given mean (for Poisson inter-arrival times).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  /// Derives an independent child generator; used to give each node/client
+  /// its own stream without correlation.
+  Rng fork() { return Rng(next_u64() ^ 0x9E3779B97F4A7C15ull); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace caesar

@@ -1,0 +1,13 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace caesar {
+
+std::string cmd_id_str(CmdId id) {
+  std::ostringstream os;
+  os << "c(" << cmd_origin(id) << "." << cmd_seq(id) << ")";
+  return os.str();
+}
+
+}  // namespace caesar

@@ -1,0 +1,914 @@
+#include "core/caesar.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace caesar::core {
+
+namespace {
+/// CPU accounting: one microsecond of service per this many index entries or
+/// predecessor-set elements touched (calibrated, see DESIGN.md).
+constexpr Time kEntriesPerUs = 16;
+}  // namespace
+
+Caesar::Caesar(rt::Env& env, DeliverFn deliver, CaesarConfig cfg,
+               stats::ProtocolStats* stats)
+    : rt::Protocol(env, std::move(deliver)),
+      cfg_(cfg),
+      stats_(stats),
+      n_(env.cluster_size()),
+      fq_(cfg.fast_quorum_override != 0 ? cfg.fast_quorum_override
+                                        : fast_quorum_size(env.cluster_size())),
+      cq_(classic_quorum_size(env.cluster_size())),
+      clock_(env.id()) {}
+
+void Caesar::start() {
+  if (cfg_.gossip_interval_us > 0) {
+    env_.set_timer(cfg_.gossip_interval_us, [this] { gossip_tick(); });
+  }
+}
+
+Ballot Caesar::current_ballot(CmdId id) const {
+  auto it = ballots_.find(id);
+  return it == ballots_.end() ? 0 : it->second;
+}
+
+Status Caesar::status_of(CmdId id) const {
+  auto it = history_.find(id);
+  return it == history_.end() ? Status::kNone : it->second.status;
+}
+
+IdSet Caesar::pred_of(CmdId id) const {
+  auto it = history_.find(id);
+  return it == history_.end() ? IdSet{} : it->second.pred;
+}
+
+Timestamp Caesar::ts_of(CmdId id) const {
+  auto it = history_.find(id);
+  return it == history_.end() ? Timestamp{} : it->second.ts;
+}
+
+// --------------------------------------------------------------------------
+// History / index maintenance
+// --------------------------------------------------------------------------
+
+Caesar::CmdInfo& Caesar::upsert(const rsm::Command& cmd) {
+  auto [it, inserted] = history_.try_emplace(cmd.id);
+  if (inserted || it->second.cmd.ops.empty()) it->second.cmd = cmd;
+  return it->second;
+}
+
+void Caesar::index_erase(const rsm::Command& cmd, const Timestamp& ts) {
+  for (const rsm::Op& op : cmd.ops) {
+    auto it = key_index_.find(op.key);
+    if (it == key_index_.end()) continue;
+    it->second.erase(ts);
+    if (it->second.empty()) key_index_.erase(it);
+  }
+}
+
+void Caesar::update_entry(CmdInfo& info, const Timestamp& ts, IdSet pred,
+                          Status status, Ballot ballot, bool forced) {
+  if (info.status != Status::kNone) index_erase(info.cmd, info.ts);
+  info.ts = ts;
+  info.pred = std::move(pred);
+  info.status = status;
+  info.ballot = ballot;
+  info.forced = forced;
+  for (const rsm::Op& op : info.cmd.ops) {
+    key_index_[op.key][ts] = info.cmd.id;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Acceptor-side predicates (paper Fig 3)
+// --------------------------------------------------------------------------
+
+IdSet Caesar::compute_predecessors(const rsm::Command& cmd, const Timestamp& ts,
+                                   const std::optional<IdSet>& whitelist) {
+  std::vector<std::uint64_t> out;
+  Time scanned = 0;
+  for (const rsm::Op& op : cmd.ops) {
+    auto ki = key_index_.find(op.key);
+    if (ki == key_index_.end()) continue;
+    for (auto it = ki->second.begin();
+         it != ki->second.end() && it->first < ts; ++it) {
+      ++scanned;
+      const CmdId other = it->second;
+      if (other == cmd.id) continue;
+      if (!whitelist.has_value()) {
+        out.push_back(other);
+        continue;
+      }
+      // Whitelist semantics: only whitelisted commands may enter the
+      // predecessor set from the fast-pending limbo; everything else must
+      // already be slow-pending/accepted/stable (paper Fig 3 lines 1-3).
+      if (whitelist->contains(other)) {
+        out.push_back(other);
+        continue;
+      }
+      const Status st = status_of(other);
+      if (st == Status::kSlowPending || st == Status::kAccepted ||
+          st == Status::kStable) {
+        out.push_back(other);
+      }
+    }
+  }
+  if (whitelist.has_value()) {
+    // Forced predecessors are included even if unknown locally.
+    for (std::uint64_t w : *whitelist) {
+      if (w != cmd.id) out.push_back(w);
+    }
+  }
+  env_.charge_cpu(scanned / kEntriesPerUs);
+  return IdSet::from_vector(std::move(out));
+}
+
+IdSet Caesar::cmds_with_lower_ts(const rsm::Command& cmd, const Timestamp& ts) {
+  return compute_predecessors(cmd, ts, std::nullopt);
+}
+
+Caesar::ConflictScan Caesar::scan_conflicts(const rsm::Command& cmd,
+                                            const Timestamp& ts) {
+  ConflictScan result;
+  Time scanned = 0;
+  for (const rsm::Op& op : cmd.ops) {
+    auto ki = key_index_.find(op.key);
+    if (ki == key_index_.end()) continue;
+    for (auto it = ki->second.upper_bound(ts); it != ki->second.end(); ++it) {
+      ++scanned;
+      const CmdId other = it->second;
+      if (other == cmd.id) continue;
+      auto hit = history_.find(other);
+      if (hit == history_.end()) continue;
+      const CmdInfo& rival = hit->second;
+      if (rival.pred.contains(cmd.id)) continue;  // we precede it; no issue
+      if (rival.status == Status::kAccepted || rival.status == Status::kStable) {
+        result.reject = true;
+      } else {
+        result.blocked = true;  // still in flight: WAIT (paper §IV-A)
+      }
+      if (result.reject && result.blocked) break;
+    }
+  }
+  env_.charge_cpu(scanned / kEntriesPerUs);
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Leader: proposal phases (paper Fig 4, left column)
+// --------------------------------------------------------------------------
+
+void Caesar::propose(rsm::Command cmd) {
+  fast_proposal_phase(std::move(cmd), /*ballot=*/0, clock_.next(),
+                      std::nullopt);
+}
+
+void Caesar::fast_proposal_phase(rsm::Command cmd, Ballot ballot, Timestamp ts,
+                                 std::optional<IdSet> whitelist) {
+  const CmdId id = cmd.id;
+  auto old = coord_.find(id);
+  if (old != coord_.end() && old->second.timeout != sim::kNoEvent) {
+    env_.cancel_timer(old->second.timeout);
+  }
+  Coordinator& c = coord_[id];
+  c = Coordinator{};
+  c.cmd = cmd;
+  c.ballot = ballot;
+  c.ts = ts;
+  c.max_ts = ts;
+  c.phase = Phase::kFastProposal;
+  c.propose_start = env_.now();
+
+  FastProposeMsg m;
+  m.cmd = std::move(cmd);
+  m.ballot = ballot;
+  m.ts = ts;
+  m.has_whitelist = whitelist.has_value();
+  if (whitelist.has_value()) m.whitelist = *whitelist;
+  net::Encoder e;
+  m.encode(e);
+  env_.broadcast(kFastPropose, std::move(e), /*include_self=*/true);
+
+  c.timeout = env_.set_timer(cfg_.fast_timeout_us,
+                             [this, id] { on_fast_timeout(id); });
+}
+
+void Caesar::on_fast_timeout(CmdId id) {
+  auto it = coord_.find(id);
+  if (it == coord_.end() || it->second.phase != Phase::kFastProposal) return;
+  Coordinator& c = it->second;
+  c.timeout_fired = true;
+  c.timeout = sim::kNoEvent;
+  if (c.responded.size() >= cq_) {
+    evaluate_fast_replies(id);
+  } else {
+    // Not even a classic quorum yet: keep waiting (≤ f crashes guarantee CQ
+    // eventually responds).
+    c.timeout = env_.set_timer(cfg_.fast_timeout_us,
+                               [this, id] { on_fast_timeout(id); });
+    c.timeout_fired = false;
+  }
+}
+
+void Caesar::evaluate_fast_replies(CmdId id) {
+  auto it = coord_.find(id);
+  if (it == coord_.end()) return;
+  Coordinator& c = it->second;
+  if (c.phase != Phase::kFastProposal) return;
+  const std::size_t replies = c.responded.size();
+  if (replies >= fq_) {
+    if (c.nacks == 0) {
+      // Fast decision: a fast quorum confirmed the timestamp — predecessor
+      // sets may differ, their union is what ships (paper §IV).
+      c.fast = true;
+      if (c.timeout != sim::kNoEvent) env_.cancel_timer(c.timeout);
+      stable_phase(id);
+    } else {
+      if (c.timeout != sim::kNoEvent) env_.cancel_timer(c.timeout);
+      retry_phase(id);
+    }
+  } else if (c.timeout_fired && replies >= cq_) {
+    if (c.nacks > 0) {
+      retry_phase(id);
+    } else {
+      slow_proposal_phase(id);
+    }
+  }
+}
+
+void Caesar::slow_proposal_phase(CmdId id) {
+  auto it = coord_.find(id);
+  assert(it != coord_.end());
+  Coordinator& c = it->second;
+  if (stats_ != nullptr) ++stats_->slow_proposals;
+  if (!c.propose_recorded && stats_ != nullptr) {
+    stats_->propose_phase.record(env_.now() - c.propose_start);
+    c.propose_recorded = true;
+  }
+  c.phase = Phase::kSlowProposal;
+  c.responded.clear();
+  c.oks = 0;
+  c.nacks = 0;
+  if (c.timeout != sim::kNoEvent) {
+    env_.cancel_timer(c.timeout);
+    c.timeout = sim::kNoEvent;
+  }
+  TimestampedCmdMsg m;
+  m.cmd = c.cmd;
+  m.ballot = c.ballot;
+  m.ts = c.ts;
+  m.pred = c.pred;
+  net::Encoder e;
+  m.encode(e);
+  env_.broadcast(kSlowPropose, std::move(e), /*include_self=*/true);
+}
+
+void Caesar::retry_phase(CmdId id) {
+  auto it = coord_.find(id);
+  assert(it != coord_.end());
+  Coordinator& c = it->second;
+  if (stats_ != nullptr) ++stats_->retries;
+  if (!c.propose_recorded && stats_ != nullptr) {
+    stats_->propose_phase.record(env_.now() - c.propose_start);
+    c.propose_recorded = true;
+  }
+  c.phase = Phase::kRetry;
+  c.retry_start = env_.now();
+  c.ts = c.max_ts;  // greatest timestamp suggested by any replier
+  c.responded.clear();
+  c.oks = 0;
+  c.nacks = 0;
+  if (c.timeout != sim::kNoEvent) {
+    env_.cancel_timer(c.timeout);
+    c.timeout = sim::kNoEvent;
+  }
+  TimestampedCmdMsg m;
+  m.cmd = c.cmd;
+  m.ballot = c.ballot;
+  m.ts = c.ts;
+  m.pred = c.pred;
+  net::Encoder e;
+  m.encode(e);
+  env_.broadcast(kRetry, std::move(e), /*include_self=*/true);
+}
+
+void Caesar::stable_phase(CmdId id) {
+  auto it = coord_.find(id);
+  assert(it != coord_.end());
+  Coordinator& c = it->second;
+  if (stats_ != nullptr) {
+    if (!c.propose_recorded) {
+      stats_->propose_phase.record(env_.now() - c.propose_start);
+      c.propose_recorded = true;
+    }
+    if (c.retry_start != 0) {
+      stats_->retry_phase.record(env_.now() - c.retry_start);
+    }
+    if (c.fast) {
+      ++stats_->fast_decisions;
+    } else {
+      ++stats_->slow_decisions;
+    }
+  }
+  c.phase = Phase::kDone;
+  c.stable_sent = env_.now();
+  TimestampedCmdMsg m;
+  m.cmd = c.cmd;
+  m.ballot = c.ballot;
+  m.ts = c.ts;
+  m.pred = c.pred;
+  net::Encoder e;
+  m.encode(e);
+  env_.broadcast(kStable, std::move(e), /*include_self=*/true);
+}
+
+// --------------------------------------------------------------------------
+// Acceptor: proposal handling with the wait condition
+// --------------------------------------------------------------------------
+
+void Caesar::handle_fast_propose(NodeId from, net::Decoder& d) {
+  FastProposeMsg m = FastProposeMsg::decode(d);
+  clock_.observe(m.ts);
+  const CmdId id = m.cmd.id;
+  // Phase-1 messages are processed only in exactly their ballot (TLA
+  // BallotPre): for ballot 0 every node starts joined; recovery ballots are
+  // joined via the RECOVERY message, which FIFO-precedes this proposal.
+  if (current_ballot(id) != m.ballot) return;
+  CmdInfo& info = upsert(m.cmd);
+  if (info.status == Status::kStable) return;
+  if (info.status != Status::kNone && info.ballot >= m.ballot) return;  // dup
+
+  std::optional<IdSet> whitelist;
+  if (m.has_whitelist) whitelist = m.whitelist;
+  IdSet pred = compute_predecessors(m.cmd, m.ts, whitelist);
+  update_entry(info, m.ts, std::move(pred), Status::kFastPending, m.ballot,
+               m.has_whitelist);
+
+  Parked p;
+  p.cmd = id;
+  p.leader = from;
+  p.ballot = m.ballot;
+  p.ts = m.ts;
+  p.slow = false;
+  p.parked_at = env_.now();
+  const ConflictScan scan = scan_conflicts(info.cmd, m.ts);
+  if (cfg_.wait_enabled && scan.blocked) {
+    parked_.push_back(std::move(p));
+    if (stats_ != nullptr) ++stats_->waits;
+    return;
+  }
+  answer_proposal(p);
+}
+
+void Caesar::handle_slow_propose(NodeId from, net::Decoder& d) {
+  TimestampedCmdMsg m = TimestampedCmdMsg::decode(d);
+  clock_.observe(m.ts);
+  const CmdId id = m.cmd.id;
+  if (current_ballot(id) > m.ballot) return;
+  ballots_[id] = m.ballot;
+  CmdInfo& info = upsert(m.cmd);
+  if (info.status == Status::kStable) return;
+
+  Parked p;
+  p.cmd = id;
+  p.leader = from;
+  p.ballot = m.ballot;
+  p.ts = m.ts;
+  p.slow = true;
+  p.msg_pred = std::move(m.pred);
+  p.parked_at = env_.now();
+  const ConflictScan scan = scan_conflicts(info.cmd, m.ts);
+  if (cfg_.wait_enabled && scan.blocked) {
+    parked_.push_back(std::move(p));
+    if (stats_ != nullptr) ++stats_->waits;
+    return;
+  }
+  answer_proposal(p);
+}
+
+void Caesar::answer_proposal(const Parked& p) {
+  auto hit = history_.find(p.cmd);
+  if (hit == history_.end()) return;
+  CmdInfo& info = hit->second;
+  if (info.ballot > p.ballot) return;  // superseded by a recovery
+  if (info.status == Status::kStable || info.status == Status::kAccepted) {
+    return;  // already past the proposal stage; the reply is moot
+  }
+  const ConflictScan scan = scan_conflicts(info.cmd, p.ts);
+  const bool reject =
+      scan.reject || (!cfg_.wait_enabled && scan.blocked);
+
+  ProposeReplyMsg r;
+  r.cmd = p.cmd;
+  r.ballot = p.ballot;
+  if (!reject) {
+    r.ok = true;
+    r.ts = p.ts;
+    if (p.slow) {
+      // Slow proposals echo the leader's predecessor set (TLA Phase2Reply)
+      // and the command parks in H as slow-pending.
+      update_entry(info, p.ts, p.msg_pred, Status::kSlowPending, p.ballot,
+                   false);
+      r.pred = info.pred;
+    } else {
+      r.pred = info.pred;  // computed at receive time (paper line P13)
+    }
+  } else {
+    // NACK: suggest a fresh timestamp greater than everything seen, plus the
+    // predecessors that justify it (paper §IV-B).
+    r.ok = false;
+    r.ts = clock_.next();
+    r.pred = cmds_with_lower_ts(info.cmd, r.ts);
+    update_entry(info, r.ts, r.pred, Status::kRejected, p.ballot, info.forced);
+  }
+  net::Encoder e;
+  r.encode(e);
+  env_.send(p.leader, p.slow ? kSlowProposeReply : kFastProposeReply,
+            std::move(e));
+}
+
+void Caesar::reevaluate_parked() {
+  if (parked_.empty()) return;
+  std::vector<Parked> keep;
+  keep.reserve(parked_.size());
+  for (Parked& p : parked_) {
+    auto hit = history_.find(p.cmd);
+    if (hit == history_.end()) continue;  // pruned: drop silently
+    CmdInfo& info = hit->second;
+    if (info.ballot > p.ballot || info.status == Status::kStable ||
+        info.status == Status::kAccepted) {
+      // The command moved on without our vote; the wait is moot.
+      if (stats_ != nullptr) {
+        stats_->wait_time.record(env_.now() - p.parked_at);
+      }
+      continue;
+    }
+    const ConflictScan scan = scan_conflicts(info.cmd, p.ts);
+    if (scan.blocked) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    if (stats_ != nullptr) {
+      stats_->wait_time.record(env_.now() - p.parked_at);
+    }
+    answer_proposal(p);
+  }
+  parked_ = std::move(keep);
+}
+
+// --------------------------------------------------------------------------
+// Leader: reply handling
+// --------------------------------------------------------------------------
+
+void Caesar::handle_propose_reply(NodeId from, net::Decoder& d, bool slow) {
+  ProposeReplyMsg m = ProposeReplyMsg::decode(d);
+  clock_.observe(m.ts);
+  auto it = coord_.find(m.cmd);
+  if (it == coord_.end()) return;
+  Coordinator& c = it->second;
+  if (c.ballot != m.ballot) return;
+  const Phase expected = slow ? Phase::kSlowProposal : Phase::kFastProposal;
+  if (c.phase != expected) return;
+  if (!c.responded.insert(from).second) return;
+  c.pred.merge(m.pred);
+  env_.charge_cpu(static_cast<Time>(m.pred.size()) / kEntriesPerUs);
+  if (m.ts > c.max_ts) c.max_ts = m.ts;
+  if (m.ok) {
+    ++c.oks;
+  } else {
+    ++c.nacks;
+  }
+  if (!slow) {
+    evaluate_fast_replies(m.cmd);
+    return;
+  }
+  if (c.responded.size() == cq_) {
+    if (c.nacks > 0) {
+      retry_phase(m.cmd);
+    } else {
+      stable_phase(m.cmd);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Retry phase (paper §V-C): never rejected
+// --------------------------------------------------------------------------
+
+void Caesar::handle_retry(NodeId from, net::Decoder& d) {
+  TimestampedCmdMsg m = TimestampedCmdMsg::decode(d);
+  clock_.observe(m.ts);
+  const CmdId id = m.cmd.id;
+  if (current_ballot(id) > m.ballot) return;
+  ballots_[id] = m.ballot;
+  CmdInfo& info = upsert(m.cmd);
+  if (info.status == Status::kStable) {
+    // Already stable (a higher-ballot recovery finished first). Theorem 2
+    // guarantees the attributes match; answer consistently if they do.
+    if (info.ts != m.ts) return;
+    RetryReplyMsg r{id, m.ballot, info.ts, info.pred};
+    net::Encoder e;
+    r.encode(e);
+    env_.send(from, kRetryReply, std::move(e));
+    return;
+  }
+  IdSet deps = cmds_with_lower_ts(m.cmd, m.ts);
+  deps.merge(m.pred);
+  update_entry(info, m.ts, deps, Status::kAccepted, m.ballot, false);
+  RetryReplyMsg r{id, m.ballot, m.ts, std::move(deps)};
+  net::Encoder e;
+  r.encode(e);
+  env_.send(from, kRetryReply, std::move(e));
+  // An accepted status can unblock parked proposals (paper Fig 3 line 5).
+  reevaluate_parked();
+}
+
+void Caesar::handle_retry_reply(NodeId from, net::Decoder& d) {
+  RetryReplyMsg m = RetryReplyMsg::decode(d);
+  clock_.observe(m.ts);
+  auto it = coord_.find(m.cmd);
+  if (it == coord_.end()) return;
+  Coordinator& c = it->second;
+  if (c.ballot != m.ballot || c.phase != Phase::kRetry) return;
+  if (!c.responded.insert(from).second) return;
+  c.pred.merge(m.pred);
+  env_.charge_cpu(static_cast<Time>(m.pred.size()) / kEntriesPerUs);
+  if (c.responded.size() == cq_) stable_phase(m.cmd);
+}
+
+// --------------------------------------------------------------------------
+// Stable phase and delivery (paper §V-B)
+// --------------------------------------------------------------------------
+
+void Caesar::handle_stable(net::Decoder& d) {
+  TimestampedCmdMsg m = TimestampedCmdMsg::decode(d);
+  clock_.observe(m.ts);
+  if (current_ballot(m.cmd.id) > m.ballot) return;
+  ballots_[m.cmd.id] = m.ballot;
+  make_stable(m.cmd, m.ballot, m.ts, std::move(m.pred));
+}
+
+void Caesar::make_stable(const rsm::Command& cmd, Ballot ballot,
+                         const Timestamp& ts, IdSet pred) {
+  CmdInfo& info = upsert(cmd);
+  if (info.status == Status::kStable) return;  // duplicate
+  update_entry(info, ts, std::move(pred), Status::kStable, ballot,
+               info.forced);
+  break_loops(cmd.id);
+  try_deliver(cmd.id);
+  reevaluate_parked();
+}
+
+void Caesar::break_loops(CmdId id) {
+  CmdInfo& info = history_.at(id);
+  std::vector<CmdId> lower_stable;
+  std::vector<CmdId> higher_stable;
+  env_.charge_cpu(static_cast<Time>(info.pred.size()) / kEntriesPerUs);
+  for (CmdId p : info.pred) {
+    auto it = history_.find(p);
+    if (it == history_.end() || it->second.status != Status::kStable) continue;
+    if (it->second.ts < info.ts) {
+      lower_stable.push_back(p);
+    } else {
+      higher_stable.push_back(p);
+    }
+  }
+  // A stable predecessor with a *greater* timestamp is a loop artefact:
+  // drop it from our set (paper Fig 3 lines 13-14).
+  for (CmdId p : higher_stable) info.pred.erase(p);
+  // Symmetrically, remove us from the predecessor sets of stable commands
+  // with lower timestamps (lines 11-12); that can unblock their delivery.
+  for (CmdId p : lower_stable) {
+    CmdInfo& pi = history_.at(p);
+    if (pi.pred.erase(id)) try_deliver(p);
+  }
+}
+
+void Caesar::try_deliver(CmdId id) {
+  if (delivered_.count(id) != 0) return;
+  auto it = history_.find(id);
+  if (it == history_.end() || it->second.status != Status::kStable) return;
+  deliver_cascade(id);
+}
+
+void Caesar::deliver_cascade(CmdId id) {
+  std::deque<CmdId> queue{id};
+  while (!queue.empty()) {
+    const CmdId cur = queue.front();
+    queue.pop_front();
+    if (delivered_.count(cur) != 0) continue;
+    auto it = history_.find(cur);
+    if (it == history_.end() || it->second.status != Status::kStable) continue;
+    CmdInfo& info = it->second;
+    // DELIVERABLE (paper Fig 3 lines 16-17): all predecessors decided.
+    CmdId missing = kNoCmd;
+    for (CmdId p : info.pred) {
+      if (delivered_.count(p) == 0) {
+        missing = p;
+        break;
+      }
+    }
+    if (missing != kNoCmd) {
+      delivery_waiters_[missing].push_back(cur);
+      continue;
+    }
+    delivered_.insert(cur);
+    deliver_(info.cmd);
+    auto cit = coord_.find(cur);
+    if (cit != coord_.end() && cit->second.phase == Phase::kDone) {
+      if (stats_ != nullptr) {
+        stats_->deliver_phase.record(env_.now() - cit->second.stable_sent);
+      }
+      coord_.erase(cit);
+    }
+    if (cfg_.gossip_interval_us > 0) gossip_outbox_.push_back(cur);
+    auto w = delivery_waiters_.find(cur);
+    if (w != delivery_waiters_.end()) {
+      for (CmdId next : w->second) queue.push_back(next);
+      delivery_waiters_.erase(w);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Recovery (paper Fig 5)
+// --------------------------------------------------------------------------
+
+void Caesar::on_node_suspected(NodeId peer) {
+  std::vector<CmdId> to_recover;
+  for (const auto& [id, info] : history_) {
+    if (info.status == Status::kStable || info.status == Status::kNone)
+      continue;
+    const Ballot b = current_ballot(id);
+    const NodeId leader = ballot_round(b) == 0 ? cmd_origin(id) : ballot_node(b);
+    if (leader == peer) to_recover.push_back(id);
+  }
+  for (CmdId id : to_recover) {
+    const Time stagger = static_cast<Time>(env_.rng().uniform_int(
+        static_cast<std::uint64_t>(cfg_.recovery_stagger_us) + 1));
+    env_.set_timer(stagger, [this, id] { start_recovery(id); });
+  }
+}
+
+void Caesar::start_recovery(CmdId id) {
+  auto hit = history_.find(id);
+  if (hit == history_.end() || hit->second.status == Status::kStable) return;
+  if (recovery_.count(id) != 0) return;  // already recovering
+  if (stats_ != nullptr) ++stats_->recoveries;
+  const Ballot nb = make_ballot(ballot_round(current_ballot(id)) + 1, env_.id());
+  RecoveryCoordinator& rc = recovery_[id];
+  rc.ballot = nb;
+  RecoveryMsg m{id, nb};
+  net::Encoder e;
+  m.encode(e);
+  // Broadcast includes self: our own reply (and ballot join) loops back.
+  env_.broadcast(kRecovery, std::move(e), /*include_self=*/true);
+  rc.retry_timer = env_.set_timer(cfg_.recovery_retry_us, [this, id] {
+    // Lost a ballot duel or a replier crashed: retry with a higher ballot.
+    recovery_.erase(id);
+    start_recovery(id);
+  });
+}
+
+void Caesar::handle_recovery(NodeId from, net::Decoder& d) {
+  RecoveryMsg m = RecoveryMsg::decode(d);
+  if (m.ballot <= current_ballot(m.cmd)) return;
+  ballots_[m.cmd] = m.ballot;
+  // If we were coordinating this command under a lower ballot, stand down.
+  auto cit = coord_.find(m.cmd);
+  if (cit != coord_.end() && cit->second.ballot < m.ballot &&
+      cit->second.phase != Phase::kDone) {
+    if (cit->second.timeout != sim::kNoEvent) {
+      env_.cancel_timer(cit->second.timeout);
+    }
+    coord_.erase(cit);
+  }
+  RecoveryReplyMsg r;
+  r.cmd = m.cmd;
+  r.ballot = m.ballot;
+  auto hit = history_.find(m.cmd);
+  if (hit != history_.end() && hit->second.status != Status::kNone) {
+    const CmdInfo& info = hit->second;
+    r.has_info = true;
+    r.payload = info.cmd;
+    r.ts = info.ts;
+    r.pred = info.pred;
+    r.status = info.status;
+    r.info_ballot = info.ballot;
+    r.forced = info.forced;
+  }
+  net::Encoder e;
+  r.encode(e);
+  env_.send(from, kRecoveryReply, std::move(e));
+}
+
+void Caesar::handle_recovery_reply(NodeId from, net::Decoder& d) {
+  RecoveryReplyMsg m = RecoveryReplyMsg::decode(d);
+  const CmdId id = m.cmd;
+  auto it = recovery_.find(id);
+  if (it == recovery_.end() || it->second.ballot != m.ballot) return;
+  RecoveryCoordinator& rc = it->second;
+  if (!rc.responded.insert(from).second) return;
+  rc.replies.push_back(std::move(m));
+  if (rc.responded.size() == cq_) finish_recovery(id);
+}
+
+void Caesar::finish_recovery(CmdId id) {
+  auto rit = recovery_.find(id);
+  assert(rit != recovery_.end());
+  RecoveryCoordinator rc = std::move(rit->second);
+  recovery_.erase(rit);
+  if (rc.retry_timer != sim::kNoEvent) env_.cancel_timer(rc.retry_timer);
+  const Ballot B = rc.ballot;
+
+  // RecoverySet: replies with info, restricted to the maximum info-ballot.
+  Ballot max_info_ballot = 0;
+  bool any_info = false;
+  for (const auto& r : rc.replies) {
+    if (!r.has_info) continue;
+    any_info = true;
+    if (r.info_ballot > max_info_ballot) max_info_ballot = r.info_ballot;
+  }
+  std::vector<const RecoveryReplyMsg*> set;
+  for (const auto& r : rc.replies) {
+    if (r.has_info && r.info_ballot == max_info_ballot) set.push_back(&r);
+  }
+
+  if (!any_info) {
+    // Nobody in the quorum has seen the command (case at Fig 5 lines 26-27);
+    // we only recover commands we know, so propose it afresh.
+    auto hit = history_.find(id);
+    if (hit == history_.end()) return;
+    fast_proposal_phase(hit->second.cmd, B, clock_.next(), std::nullopt);
+    return;
+  }
+
+  auto find_status = [&](Status s) -> const RecoveryReplyMsg* {
+    for (const auto* r : set) {
+      if (r->status == s) return r;
+    }
+    return nullptr;
+  };
+
+  if (const auto* r = find_status(Status::kStable)) {
+    // (i) Someone saw it stable: re-broadcast the decision.
+    Coordinator& c = coord_[id];
+    c = Coordinator{};
+    c.cmd = r->payload;
+    c.ballot = B;
+    c.ts = r->ts;
+    c.pred = r->pred;
+    c.propose_start = env_.now();
+    c.propose_recorded = true;
+    stable_phase(id);
+    return;
+  }
+  if (const auto* r = find_status(Status::kAccepted)) {
+    // (ii) An accepted tuple: finish via a retry phase with its attributes.
+    Coordinator& c = coord_[id];
+    c = Coordinator{};
+    c.cmd = r->payload;
+    c.ballot = B;
+    c.ts = r->ts;
+    c.max_ts = r->ts;
+    c.pred = r->pred;
+    c.propose_start = env_.now();
+    retry_phase(id);
+    return;
+  }
+  if (find_status(Status::kRejected) != nullptr) {
+    // (iii) Rejected: it was never decided; propose with a new timestamp.
+    fast_proposal_phase(set.front()->payload, B, clock_.next(), std::nullopt);
+    return;
+  }
+  if (const auto* r = find_status(Status::kSlowPending)) {
+    // (iv) Slow-pending: re-run the slow proposal phase.
+    Coordinator& c = coord_[id];
+    c = Coordinator{};
+    c.cmd = r->payload;
+    c.ballot = B;
+    c.ts = r->ts;
+    c.max_ts = r->ts;
+    c.pred = r->pred;
+    c.propose_start = env_.now();
+    slow_proposal_phase(id);
+    return;
+  }
+
+  // (v) Only fast-pending tuples, all with the same timestamp: the command
+  // may have been fast-decided. Re-propose at that timestamp with a
+  // whitelist constraining the predecessor sets (Fig 5 lines 16-25).
+  const Timestamp T = set.front()->ts;
+  IdSet pred_union;
+  for (const auto* r : set) pred_union.merge(r->pred);
+
+  std::optional<IdSet> whitelist;
+  const RecoveryReplyMsg* forced = nullptr;
+  for (const auto* r : set) {
+    if (r->forced) forced = r;
+  }
+  if (forced != nullptr) {
+    // A previous recovery already forced a whitelist; reuse its set.
+    whitelist = forced->pred;
+  } else if (set.size() >= cq_ / 2 + 1) {
+    // c̄ must be a predecessor unless a majority-of-CQ subset of the
+    // RecoverySet omits it — the ⌊CQ/2⌋+1 bound is the minimum intersection
+    // of a classic and a fast quorum.
+    IdSet wl;
+    const std::size_t threshold = cq_ / 2 + 1;
+    for (std::uint64_t cand : pred_union) {
+      std::size_t without = 0;
+      for (const auto* r : set) {
+        if (!r->pred.contains(cand)) ++without;
+      }
+      if (without < threshold) wl.insert(cand);
+    }
+    whitelist = std::move(wl);
+  } else {
+    whitelist = std::nullopt;
+  }
+  fast_proposal_phase(set.front()->payload, B, T, std::move(whitelist));
+}
+
+// --------------------------------------------------------------------------
+// Garbage collection via delivered-id gossip
+// --------------------------------------------------------------------------
+
+void Caesar::gossip_tick() {
+  if (!gossip_outbox_.empty()) {
+    GossipMsg m;
+    m.delivered = IdSet::from_vector(gossip_outbox_);
+    gossip_outbox_.clear();
+    net::Encoder e;
+    m.encode(e);
+    env_.broadcast(kGossip, std::move(e), /*include_self=*/false);
+    for (std::uint64_t id : m.delivered) {
+      if (++delivered_acks_[id] == n_) maybe_prune(id);
+    }
+  }
+  env_.set_timer(cfg_.gossip_interval_us, [this] { gossip_tick(); });
+}
+
+void Caesar::handle_gossip(NodeId /*from*/, net::Decoder& d) {
+  GossipMsg m = GossipMsg::decode(d);
+  for (std::uint64_t id : m.delivered) {
+    if (++delivered_acks_[id] == n_) maybe_prune(id);
+  }
+}
+
+void Caesar::maybe_prune(CmdId id) {
+  // Delivered on every node: no future proposal can need it as a
+  // predecessor, and nobody will ask about it again (paper §V-B).
+  if (delivered_.count(id) == 0) return;
+  auto it = history_.find(id);
+  if (it == history_.end()) return;
+  index_erase(it->second.cmd, it->second.ts);
+  history_.erase(it);
+  ballots_.erase(id);
+  delivered_acks_.erase(id);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void Caesar::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
+  switch (static_cast<MsgType>(type)) {
+    case kFastPropose:
+      handle_fast_propose(from, d);
+      break;
+    case kFastProposeReply:
+      handle_propose_reply(from, d, /*slow=*/false);
+      break;
+    case kSlowPropose:
+      handle_slow_propose(from, d);
+      break;
+    case kSlowProposeReply:
+      handle_propose_reply(from, d, /*slow=*/true);
+      break;
+    case kRetry:
+      handle_retry(from, d);
+      break;
+    case kRetryReply:
+      handle_retry_reply(from, d);
+      break;
+    case kStable:
+      handle_stable(d);
+      break;
+    case kRecovery:
+      handle_recovery(from, d);
+      break;
+    case kRecoveryReply:
+      handle_recovery_reply(from, d);
+      break;
+    case kGossip:
+      handle_gossip(from, d);
+      break;
+    default:
+      log::warn("caesar: unknown message type ", type);
+  }
+}
+
+}  // namespace caesar::core

@@ -1,0 +1,222 @@
+// CAESAR: multi-leader Generalized Consensus via timestamp confirmation
+// (Arun et al., DSN 2017). This is the paper's primary contribution.
+//
+// Every node can lead commands. A leader assigns its command a logical
+// timestamp and asks a fast quorum (⌈3N/4⌉) to confirm it. Acceptors confirm
+// unless a conflicting command with a *greater* timestamp has already been
+// accepted/stabilized without listing this command as a predecessor — and,
+// crucially, an acceptor that cannot yet tell (the greater-timestamped rival
+// is still in flight) *waits* instead of rejecting (§IV-A). Quorum replies
+// may carry different predecessor sets without spoiling the fast path; the
+// leader simply unions them (§IV, the key difference from EPaxos).
+//
+// Decision paths implemented here (paper Fig 4):
+//   fast:             FastPropose --FQ all-OK--> Stable          (2 delays)
+//   slow via retry:   FastPropose --any NACK--> Retry -> Stable  (4 delays)
+//   slow via timeout: FastPropose --timeout,CQ OK--> SlowPropose
+//                        --all OK--> Stable | --NACK--> Retry -> Stable
+//
+// Failure handling (paper Fig 5): ballot-protected recovery reconstructs the
+// fate of a crashed leader's commands from a classic quorum, including the
+// whitelist reconstruction needed to preserve a possibly-taken fast decision.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/caesar_messages.h"
+#include "core/timestamp.h"
+#include "runtime/protocol.h"
+#include "stats/protocol_stats.h"
+
+namespace caesar::core {
+
+struct CaesarConfig {
+  /// Ablation knob: when false, a proposal that would wait NACKs immediately
+  /// (the behaviour of EPaxos-style protocols the paper §IV-A argues against).
+  bool wait_enabled = true;
+  /// 0 = use ⌈3N/4⌉ (paper §III); tests/ablations may override.
+  std::size_t fast_quorum_override = 0;
+  /// How long the leader waits for a fast quorum before settling for a
+  /// classic quorum + slow proposal phase (paper §V-D).
+  Time fast_timeout_us = 400 * kMs;
+  /// Random stagger before starting recovery of a suspected leader's command
+  /// (avoids duelling recoveries).
+  Time recovery_stagger_us = 50 * kMs;
+  /// Re-run a recovery that made no progress after this long.
+  Time recovery_retry_us = 2 * kSec;
+  /// Delivered-id gossip period driving garbage collection; 0 disables GC
+  /// (tests that inspect full histories disable it).
+  Time gossip_interval_us = 0;
+};
+
+class Caesar final : public rt::Protocol {
+ public:
+  Caesar(rt::Env& env, DeliverFn deliver, CaesarConfig cfg,
+         stats::ProtocolStats* stats);
+
+  void start() override;
+  void propose(rsm::Command cmd) override;
+  void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  void on_node_suspected(NodeId peer) override;
+  std::string_view name() const override { return "Caesar"; }
+
+  // --- introspection (tests / benches) ------------------------------------
+  std::size_t fast_quorum() const { return fq_; }
+  std::size_t classic_quorum() const { return cq_; }
+  /// Status of a command in this node's history (kNone if unknown).
+  Status status_of(CmdId id) const;
+  /// Current predecessor set of a command in the history.
+  IdSet pred_of(CmdId id) const;
+  Timestamp ts_of(CmdId id) const;
+  std::size_t history_size() const { return history_.size(); }
+  bool is_delivered(CmdId id) const { return delivered_.count(id) != 0; }
+  std::size_t parked_count() const { return parked_.size(); }
+
+ private:
+  // ---- history ------------------------------------------------------------
+  struct CmdInfo {
+    rsm::Command cmd;
+    Timestamp ts;
+    IdSet pred;
+    Status status = Status::kNone;
+    Ballot ballot = 0;   // ballot under which this tuple was written
+    bool forced = false; // predecessors forced by a recovery whitelist
+  };
+
+  // ---- leader-side coordination --------------------------------------------
+  enum class Phase : std::uint8_t { kFastProposal, kSlowProposal, kRetry, kDone };
+  struct Coordinator {
+    rsm::Command cmd;
+    Ballot ballot = 0;
+    Timestamp ts;
+    IdSet pred;             // accumulated union of reply predecessor sets
+    Phase phase = Phase::kFastProposal;
+    std::unordered_set<NodeId> responded;
+    std::uint32_t oks = 0;
+    std::uint32_t nacks = 0;
+    Timestamp max_ts;       // max timestamp over all replies (retry input)
+    sim::EventId timeout = sim::kNoEvent;
+    bool timeout_fired = false;
+    bool fast = false;  // decided on the fast path
+    // Instrumentation (paper Fig 11a).
+    Time propose_start = 0;
+    Time retry_start = 0;
+    Time stable_sent = 0;
+    bool propose_recorded = false;
+  };
+
+  // ---- recovery-side coordination ------------------------------------------
+  struct RecoveryCoordinator {
+    Ballot ballot = 0;
+    std::vector<RecoveryReplyMsg> replies;
+    std::unordered_set<NodeId> responded;
+    sim::EventId retry_timer = sim::kNoEvent;
+  };
+
+  /// A proposal parked by the wait condition (§IV-A).
+  struct Parked {
+    CmdId cmd = kNoCmd;
+    NodeId leader = kNoNode;
+    Ballot ballot = 0;
+    Timestamp ts;
+    bool slow = false;  // true when parked by a SlowPropose
+    IdSet msg_pred;     // pred carried by a SlowPropose
+    Time parked_at = 0;
+  };
+
+  // ---- message handlers -----------------------------------------------------
+  void handle_fast_propose(NodeId from, net::Decoder& d);
+  void handle_slow_propose(NodeId from, net::Decoder& d);
+  void handle_propose_reply(NodeId from, net::Decoder& d, bool slow);
+  void handle_retry(NodeId from, net::Decoder& d);
+  void handle_retry_reply(NodeId from, net::Decoder& d);
+  void handle_stable(net::Decoder& d);
+  void handle_recovery(NodeId from, net::Decoder& d);
+  void handle_recovery_reply(NodeId from, net::Decoder& d);
+  void handle_gossip(NodeId from, net::Decoder& d);
+
+  // ---- leader phases (paper Fig 4, left column) ------------------------------
+  void fast_proposal_phase(rsm::Command cmd, Ballot ballot, Timestamp ts,
+                           std::optional<IdSet> whitelist);
+  void slow_proposal_phase(CmdId id);
+  void retry_phase(CmdId id);
+  void stable_phase(CmdId id);
+  void evaluate_fast_replies(CmdId id);
+  void on_fast_timeout(CmdId id);
+
+  // ---- acceptor helpers -------------------------------------------------------
+  /// COMPUTEPREDECESSORS (paper Fig 3 lines 1-3).
+  IdSet compute_predecessors(const rsm::Command& cmd, const Timestamp& ts,
+                             const std::optional<IdSet>& whitelist);
+  /// All conflicting commands with timestamp < ts (TLA CmdsWithLowerT).
+  IdSet cmds_with_lower_ts(const rsm::Command& cmd, const Timestamp& ts);
+  /// One pass over the conflict index: does anything block (pending rival
+  /// with greater ts, us not among its predecessors) or force a NACK
+  /// (accepted/stable such rival)? Implements WAIT of paper Fig 3.
+  struct ConflictScan {
+    bool blocked = false;
+    bool reject = false;
+  };
+  ConflictScan scan_conflicts(const rsm::Command& cmd, const Timestamp& ts);
+  /// Finishes a proposal that is (no longer) blocked: replies OK or NACK.
+  void answer_proposal(const Parked& p);
+  void reevaluate_parked();
+
+  // ---- history / index maintenance ------------------------------------------
+  CmdInfo& upsert(const rsm::Command& cmd);
+  /// H.UPDATE from the paper: replaces the tuple and maintains the per-key
+  /// timestamp index.
+  void update_entry(CmdInfo& info, const Timestamp& ts, IdSet pred,
+                    Status status, Ballot ballot, bool forced);
+  void index_erase(const rsm::Command& cmd, const Timestamp& ts);
+
+  // ---- stable / delivery ------------------------------------------------------
+  void make_stable(const rsm::Command& cmd, Ballot ballot, const Timestamp& ts,
+                   IdSet pred);
+  void break_loops(CmdId id);
+  void try_deliver(CmdId id);
+  void deliver_cascade(CmdId id);
+
+  // ---- recovery ---------------------------------------------------------------
+  void start_recovery(CmdId id);
+  void finish_recovery(CmdId id);
+
+  // ---- gc ----------------------------------------------------------------------
+  void gossip_tick();
+  void maybe_prune(CmdId id);
+
+  Ballot current_ballot(CmdId id) const;
+
+  CaesarConfig cfg_;
+  stats::ProtocolStats* stats_;
+  std::size_t n_;
+  std::size_t fq_;
+  std::size_t cq_;
+  TimestampClock clock_;
+
+  std::unordered_map<CmdId, CmdInfo> history_;
+  std::unordered_map<CmdId, Ballot> ballots_;
+  /// Per-key conflict index ordered by timestamp — the paper's red-black
+  /// tree of conflicting commands (§VI).
+  std::unordered_map<Key, std::map<Timestamp, CmdId>> key_index_;
+
+  std::unordered_map<CmdId, Coordinator> coord_;
+  std::unordered_map<CmdId, RecoveryCoordinator> recovery_;
+  std::vector<Parked> parked_;
+
+  std::unordered_set<CmdId> delivered_;
+  /// stable-but-blocked commands waiting for `key` to be delivered.
+  std::unordered_map<CmdId, std::vector<CmdId>> delivery_waiters_;
+
+  // --- gc state ---
+  std::vector<CmdId> gossip_outbox_;
+  std::unordered_map<CmdId, std::uint32_t> delivered_acks_;
+};
+
+}  // namespace caesar::core

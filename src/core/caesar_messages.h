@@ -1,0 +1,209 @@
+// Wire messages of the CAESAR protocol (paper Fig 4 and Fig 5).
+//
+// Every message is fully serialized; proposal-carrying messages include the
+// command payload so any recipient can act on a command it has never seen
+// (needed after leader changes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/idset.h"
+#include "core/timestamp.h"
+#include "rsm/command.h"
+
+namespace caesar::core {
+
+enum MsgType : std::uint16_t {
+  kFastPropose = 1,
+  kFastProposeReply = 2,
+  kSlowPropose = 3,
+  kSlowProposeReply = 4,
+  kRetry = 5,
+  kRetryReply = 6,
+  kStable = 7,
+  kRecovery = 8,
+  kRecoveryReply = 9,
+  kGossip = 10,
+};
+
+/// Command status in the history H (paper §V-A). Order matters only for
+/// serialization.
+enum class Status : std::uint8_t {
+  kNone = 0,
+  kFastPending = 1,
+  kSlowPending = 2,
+  kAccepted = 3,
+  kRejected = 4,
+  kStable = 5,
+};
+
+struct FastProposeMsg {
+  rsm::Command cmd;
+  Ballot ballot = 0;
+  Timestamp ts;
+  bool has_whitelist = false;  // null vs present (they differ semantically)
+  IdSet whitelist;
+
+  void encode(net::Encoder& e) const {
+    cmd.encode(e);
+    e.put_u64(ballot);
+    ts.encode(e);
+    e.put_bool(has_whitelist);
+    if (has_whitelist) e.put_id_set(whitelist);
+  }
+  static FastProposeMsg decode(net::Decoder& d) {
+    FastProposeMsg m;
+    m.cmd = rsm::Command::decode(d);
+    m.ballot = d.get_u64();
+    m.ts = Timestamp::decode(d);
+    m.has_whitelist = d.get_bool();
+    if (m.has_whitelist) m.whitelist = d.get_id_set();
+    return m;
+  }
+};
+
+/// Reply to either proposal flavour: OK confirms the proposed timestamp;
+/// NACK carries a strictly greater suggestion (paper §V-B).
+struct ProposeReplyMsg {
+  CmdId cmd = kNoCmd;
+  Ballot ballot = 0;
+  Timestamp ts;
+  IdSet pred;
+  bool ok = true;
+
+  void encode(net::Encoder& e) const {
+    e.put_u64(cmd);
+    e.put_u64(ballot);
+    ts.encode(e);
+    e.put_id_set(pred);
+    e.put_bool(ok);
+  }
+  static ProposeReplyMsg decode(net::Decoder& d) {
+    ProposeReplyMsg m;
+    m.cmd = d.get_u64();
+    m.ballot = d.get_u64();
+    m.ts = Timestamp::decode(d);
+    m.pred = d.get_id_set();
+    m.ok = d.get_bool();
+    return m;
+  }
+};
+
+/// SlowPropose, Retry and Stable all carry the same fields.
+struct TimestampedCmdMsg {
+  rsm::Command cmd;
+  Ballot ballot = 0;
+  Timestamp ts;
+  IdSet pred;
+
+  void encode(net::Encoder& e) const {
+    cmd.encode(e);
+    e.put_u64(ballot);
+    ts.encode(e);
+    e.put_id_set(pred);
+  }
+  static TimestampedCmdMsg decode(net::Decoder& d) {
+    TimestampedCmdMsg m;
+    m.cmd = rsm::Command::decode(d);
+    m.ballot = d.get_u64();
+    m.ts = Timestamp::decode(d);
+    m.pred = d.get_id_set();
+    return m;
+  }
+};
+
+struct RetryReplyMsg {
+  CmdId cmd = kNoCmd;
+  Ballot ballot = 0;
+  Timestamp ts;
+  IdSet pred;
+
+  void encode(net::Encoder& e) const {
+    e.put_u64(cmd);
+    e.put_u64(ballot);
+    ts.encode(e);
+    e.put_id_set(pred);
+  }
+  static RetryReplyMsg decode(net::Decoder& d) {
+    RetryReplyMsg m;
+    m.cmd = d.get_u64();
+    m.ballot = d.get_u64();
+    m.ts = Timestamp::decode(d);
+    m.pred = d.get_id_set();
+    return m;
+  }
+};
+
+struct RecoveryMsg {
+  CmdId cmd = kNoCmd;
+  Ballot ballot = 0;
+
+  void encode(net::Encoder& e) const {
+    e.put_u64(cmd);
+    e.put_u64(ballot);
+  }
+  static RecoveryMsg decode(net::Decoder& d) {
+    RecoveryMsg m;
+    m.cmd = d.get_u64();
+    m.ballot = d.get_u64();
+    return m;
+  }
+};
+
+/// RECOVERYR (paper Fig 5): the replier's H tuple for the command, or NOP.
+struct RecoveryReplyMsg {
+  CmdId cmd = kNoCmd;
+  Ballot ballot = 0;  // the recovery ballot being answered
+  bool has_info = false;
+  // Fields below valid when has_info:
+  rsm::Command payload;
+  Timestamp ts;
+  IdSet pred;
+  Status status = Status::kNone;
+  Ballot info_ballot = 0;  // ballot under which the tuple was written
+  bool forced = false;     // whitelist-forced info (paper's `forced` bit)
+
+  void encode(net::Encoder& e) const {
+    e.put_u64(cmd);
+    e.put_u64(ballot);
+    e.put_bool(has_info);
+    if (!has_info) return;
+    payload.encode(e);
+    ts.encode(e);
+    e.put_id_set(pred);
+    e.put_u8(static_cast<std::uint8_t>(status));
+    e.put_u64(info_ballot);
+    e.put_bool(forced);
+  }
+  static RecoveryReplyMsg decode(net::Decoder& d) {
+    RecoveryReplyMsg m;
+    m.cmd = d.get_u64();
+    m.ballot = d.get_u64();
+    m.has_info = d.get_bool();
+    if (!m.has_info) return m;
+    m.payload = rsm::Command::decode(d);
+    m.ts = Timestamp::decode(d);
+    m.pred = d.get_id_set();
+    m.status = static_cast<Status>(d.get_u8());
+    m.info_ballot = d.get_u64();
+    m.forced = d.get_bool();
+    return m;
+  }
+};
+
+/// Periodic delivered-id gossip driving garbage collection (paper §V-B:
+/// "when a command is stable on all nodes, the information about c can be
+/// safely garbage collected").
+struct GossipMsg {
+  IdSet delivered;
+
+  void encode(net::Encoder& e) const { e.put_id_set(delivered); }
+  static GossipMsg decode(net::Decoder& d) {
+    GossipMsg m;
+    m.delivered = d.get_id_set();
+    return m;
+  }
+};
+
+}  // namespace caesar::core

@@ -1,0 +1,63 @@
+// CAESAR logical timestamps (paper §V-A).
+//
+// A timestamp is a pair ⟨t, node⟩ ordered lexicographically; the node
+// component makes every timestamp cluster-unique, so conflicting commands are
+// always strictly ordered. Each node keeps a monotone clock that is bumped
+// past every timestamp it handles (Lamport-style), guaranteeing that a fresh
+// local timestamp is greater than anything seen before — the property the
+// NACK/suggestion mechanism relies on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/serialization.h"
+
+namespace caesar::core {
+
+struct Timestamp {
+  std::uint64_t t = 0;
+  NodeId node = 0;
+
+  // Lexicographic: t first, node as tie-breaker (paper: ⟨k1,i⟩ < ⟨k2,j⟩ iff
+  // k1 < k2 or (k1 = k2 and i < j)).
+  auto operator<=>(const Timestamp&) const = default;
+
+  bool is_zero() const { return t == 0 && node == 0; }
+
+  void encode(net::Encoder& e) const {
+    e.put_varint(t);
+    e.put_u32(node);
+  }
+
+  static Timestamp decode(net::Decoder& d) {
+    Timestamp ts;
+    ts.t = d.get_varint();
+    ts.node = d.get_u32();
+    return ts;
+  }
+};
+
+/// The per-node clock TS_i from the paper.
+class TimestampClock {
+ public:
+  explicit TimestampClock(NodeId self) : self_(self) {}
+
+  /// Fresh timestamp, strictly greater than everything observed or issued.
+  Timestamp next() { return Timestamp{++t_, self_}; }
+
+  /// Records a timestamp handled by this node; future next() results will
+  /// exceed it.
+  void observe(const Timestamp& ts) {
+    if (ts.t > t_) t_ = ts.t;
+  }
+
+  std::uint64_t raw() const { return t_; }
+
+ private:
+  NodeId self_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace caesar::core

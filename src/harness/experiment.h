@@ -1,0 +1,99 @@
+// Experiment harness: builds a cluster running one of the five protocols on
+// the paper's geo topology, drives it with closed-loop clients at a chosen
+// conflict rate, and returns the metrics the paper's figures plot.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clockrsm/clock_rsm.h"
+#include "core/caesar.h"
+#include "epaxos/epaxos.h"
+#include "m2paxos/m2paxos.h"
+#include "mencius/mencius.h"
+#include "multipaxos/multipaxos.h"
+#include "net/topology.h"
+#include "rsm/delivery_log.h"
+#include "rsm/kvstore.h"
+#include "runtime/cluster.h"
+#include "stats/latency_stats.h"
+#include "stats/protocol_stats.h"
+#include "stats/time_series.h"
+#include "workload/client_pool.h"
+
+namespace caesar::harness {
+
+enum class ProtocolKind {
+  kCaesar,
+  kEPaxos,
+  kM2Paxos,
+  kMencius,
+  kMultiPaxos,
+  kClockRsm,  // extension: related-work baseline (paper §II)
+};
+
+std::string_view to_string(ProtocolKind kind);
+
+struct ExperimentConfig {
+  ProtocolKind protocol = ProtocolKind::kCaesar;
+  net::Topology topology = net::Topology::ec2_five_sites();
+  wl::WorkloadConfig workload;
+  rt::NodeConfig node;
+  Time fd_timeout_us = 500 * kMs;
+
+  /// Total simulated run length and measurement warmup cutoff.
+  Time duration = 12 * kSec;
+  Time warmup = 3 * kSec;
+  std::uint64_t seed = 1;
+
+  // Protocol-specific knobs.
+  core::CaesarConfig caesar;
+  epaxos::EPaxosConfig epaxos;
+  m2paxos::M2PaxosConfig m2paxos;
+  mencius::MenciusConfig mencius;
+  clockrsm::ClockRsmConfig clockrsm;
+  mpaxos::MultiPaxosConfig multipaxos{/*leader=*/3};  // Ireland by default
+
+  // Failure injection (paper Fig 12).
+  NodeId crash_node = kNoNode;
+  Time crash_at = 0;
+
+  /// Keep per-node delivery logs and verify cross-node consistency at the
+  /// end (disable only for very long throughput runs).
+  bool check_consistency = true;
+  Time timeline_bucket = 500 * kMs;
+};
+
+struct SiteMetrics {
+  std::string name;
+  stats::LatencyStats latency;  // per-completion, measured after warmup
+};
+
+struct ExperimentResult {
+  std::vector<SiteMetrics> sites;
+  stats::LatencyStats total_latency;
+  /// Completions per second within the measurement window.
+  double throughput_tps = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t submitted = 0;
+
+  /// Aggregated and per-node protocol counters.
+  stats::ProtocolStats proto;
+  std::vector<stats::ProtocolStats> per_node;
+
+  /// Completions per timeline bucket (Fig 12).
+  stats::TimeSeries timeline{500 * kMs};
+
+  bool consistent = true;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
+};
+
+/// Runs one experiment to completion. Deterministic in cfg.seed.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace caesar::harness

@@ -1,0 +1,69 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace caesar::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << "  " << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::ms(double us) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << us / 1000.0;
+  return os.str();
+}
+
+std::string Table::pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+void print_figure_header(const std::string& figure,
+                         const std::string& description,
+                         const std::string& paper_expectation) {
+  std::cout << "\n================================================================\n"
+            << figure << ": " << description << "\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace caesar::harness

@@ -1,0 +1,35 @@
+// ASCII reporting helpers shared by the per-figure bench binaries: aligned
+// tables with the same rows/series the paper's figures plot.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace caesar::harness {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+  /// Formats a microsecond duration as milliseconds with one decimal.
+  static std::string ms(double us);
+  /// Formats a ratio as a percentage with one decimal.
+  static std::string pct(double fraction);
+  static std::string num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure banner: what the paper showed, what we reproduce.
+void print_figure_header(const std::string& figure,
+                         const std::string& description,
+                         const std::string& paper_expectation);
+
+}  // namespace caesar::harness

@@ -1,0 +1,158 @@
+#include "mencius/mencius.h"
+
+#include "common/logging.h"
+
+namespace caesar::mencius {
+
+Mencius::Mencius(rt::Env& env, DeliverFn deliver, MenciusConfig cfg,
+                 stats::ProtocolStats* stats)
+    : rt::Protocol(env, std::move(deliver)),
+      cfg_(cfg),
+      stats_(stats),
+      n_(env.cluster_size()),
+      cq_(classic_quorum_size(env.cluster_size())),
+      next_own_slot_(env.id()),
+      floor_(env.cluster_size(), 0) {
+  for (NodeId q = 0; q < n_; ++q) floor_[q] = q;  // initial own slot of q
+}
+
+void Mencius::start() {
+  env_.set_timer(cfg_.heartbeat_us, [this] { heartbeat(); });
+}
+
+void Mencius::heartbeat() {
+  net::Encoder e;
+  e.put_varint(next_own_slot_);
+  env_.broadcast(kFloor, std::move(e), /*include_self=*/false);
+  env_.set_timer(cfg_.heartbeat_us, [this] { heartbeat(); });
+}
+
+void Mencius::propose(rsm::Command cmd) {
+  const std::uint64_t slot = next_own_slot_;
+  next_own_slot_ += n_;
+  floor_[env_.id()] = next_own_slot_;
+
+  net::Encoder e;
+  e.put_varint(slot);
+  cmd.encode(e);
+  e.put_varint(next_own_slot_);
+  pending_.emplace(slot, Pending{std::move(cmd), 1, env_.now()});
+  env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
+  try_deliver();  // a 1-node cluster would commit immediately
+  if (n_ == 1) {
+    Pending& p = pending_.at(slot);
+    committed_.emplace(slot, std::move(p.cmd));
+    pending_.erase(slot);
+    try_deliver();
+  }
+}
+
+void Mencius::skip_own_slots_below(std::uint64_t slot) {
+  // Mencius skip rule: seeing slot s in use, give up own unused slots < s so
+  // delivery is not blocked on us.
+  while (next_own_slot_ < slot) next_own_slot_ += n_;
+  floor_[env_.id()] = next_own_slot_;
+}
+
+void Mencius::note_floor(NodeId node, std::uint64_t floor) {
+  if (floor > floor_[node]) floor_[node] = floor;
+}
+
+void Mencius::handle_accept(NodeId from, net::Decoder& d) {
+  const std::uint64_t slot = d.get_varint();
+  rsm::Command cmd = rsm::Command::decode(d);
+  (void)cmd;  // value re-arrives with COMMIT; acceptor log elided (no recovery)
+  accepted_slots_.emplace(slot, true);
+  note_floor(from, d.get_varint());
+  skip_own_slots_below(slot);
+
+  net::Encoder e;
+  e.put_varint(slot);
+  e.put_varint(next_own_slot_);
+  env_.send(from, kAccepted, std::move(e));
+  try_deliver();
+}
+
+void Mencius::handle_accepted(NodeId from, net::Decoder& d) {
+  const std::uint64_t slot = d.get_varint();
+  note_floor(from, d.get_varint());
+  auto it = pending_.find(slot);
+  if (it != pending_.end()) {
+    Pending& p = it->second;
+    if (++p.acks >= cq_) {
+      if (stats_ != nullptr) {
+        ++stats_->fast_decisions;
+        stats_->propose_phase.record(env_.now() - p.start);
+      }
+      net::Encoder e;
+      e.put_varint(slot);
+      p.cmd.encode(e);
+      e.put_varint(next_own_slot_);  // only the sender's own floor: see floor_
+      env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+      committed_.emplace(slot, std::move(p.cmd));
+      pending_.erase(it);
+    }
+  }
+  try_deliver();
+}
+
+void Mencius::handle_commit(NodeId from, net::Decoder& d) {
+  const std::uint64_t slot = d.get_varint();
+  rsm::Command cmd = rsm::Command::decode(d);
+  note_floor(from, d.get_varint());
+  skip_own_slots_below(slot);
+  accepted_slots_.erase(slot);
+  committed_.emplace(slot, std::move(cmd));
+  try_deliver();
+}
+
+void Mencius::try_deliver() {
+  while (true) {
+    auto it = committed_.find(next_deliver_);
+    if (it != committed_.end()) {
+      deliver_(it->second);
+      committed_.erase(it);
+      ++next_deliver_;
+      continue;
+    }
+    // Not committed here: the slot owner may have skipped it...
+    const NodeId owner = static_cast<NodeId>(next_deliver_ % n_);
+    if (owner == env_.id()) {
+      if (next_deliver_ < next_own_slot_ && pending_.count(next_deliver_) == 0) {
+        ++next_deliver_;  // our own skipped slot
+        continue;
+      }
+      break;  // our own slot still in flight
+    }
+    if (accepted_slots_.count(next_deliver_) != 0) {
+      break;  // value proposed; wait for its COMMIT
+    }
+    if (floor_[owner] > next_deliver_) {
+      ++next_deliver_;  // owner skipped it (FIFO makes this sound, see floor_)
+      continue;
+    }
+    break;  // must hear more from `owner` — the "slowest node" bottleneck
+  }
+}
+
+void Mencius::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
+  switch (static_cast<MsgType>(type)) {
+    case kAccept:
+      handle_accept(from, d);
+      break;
+    case kAccepted:
+      handle_accepted(from, d);
+      break;
+    case kCommit:
+      handle_commit(from, d);
+      break;
+    case kFloor:
+      note_floor(from, d.get_varint());
+      try_deliver();
+      break;
+    default:
+      log::warn("mencius: unknown message type ", type);
+  }
+}
+
+}  // namespace caesar::mencius

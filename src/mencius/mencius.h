@@ -1,0 +1,91 @@
+// Mencius baseline (Mao et al., OSDI 2008) — paper §II, evaluated in Figs 7/9.
+//
+// Consensus slots are pre-assigned round-robin: slot s belongs to node
+// s mod N. A node proposes only in its own slots (coordinated Paxos: its
+// ACCEPT is chosen once a majority acks), and skips its unused earlier slots
+// whenever it observes a higher slot in use. Delivery is strictly in slot
+// order, so a replica can deliver slot s only once every lower slot is either
+// committed or known skipped — which requires hearing from *every* node.
+// That is Mencius' structural weakness the paper highlights: it cannot use
+// quorums for delivery and performs as the slowest/farthest node.
+//
+// Floors ("all my own slots below f are used-or-skipped") piggyback on every
+// message and on idle heartbeats; COMMIT carries the coordinator's full floor
+// vector so learners converge fast.
+//
+// Recovery/revocation (Fast Mencius) is out of scope — the paper's failure
+// experiment covers only CAESAR and EPaxos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "runtime/protocol.h"
+#include "stats/protocol_stats.h"
+
+namespace caesar::mencius {
+
+struct MenciusConfig {
+  /// Idle floor-announcement period.
+  Time heartbeat_us = 25 * kMs;
+};
+
+class Mencius final : public rt::Protocol {
+ public:
+  Mencius(rt::Env& env, DeliverFn deliver, MenciusConfig cfg,
+          stats::ProtocolStats* stats);
+
+  void start() override;
+  void propose(rsm::Command cmd) override;
+  void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  std::string_view name() const override { return "Mencius"; }
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t next_own_slot() const { return next_own_slot_; }
+  std::uint64_t delivered_through() const { return next_deliver_; }
+  std::uint64_t floor_of(NodeId node) const { return floor_[node]; }
+
+ private:
+  enum MsgType : std::uint16_t {
+    kAccept = 1,    // coordinator -> all: value for its own slot (+floor)
+    kAccepted = 2,  // acceptor -> coordinator: ack (+floor)
+    kCommit = 3,    // coordinator -> all: slot chosen (+all known floors)
+    kFloor = 4,     // heartbeat: floor announcement
+  };
+
+  void handle_accept(NodeId from, net::Decoder& d);
+  void handle_accepted(NodeId from, net::Decoder& d);
+  void handle_commit(NodeId from, net::Decoder& d);
+  void skip_own_slots_below(std::uint64_t slot);
+  void note_floor(NodeId node, std::uint64_t floor);
+  void try_deliver();
+  void heartbeat();
+
+  MenciusConfig cfg_;
+  stats::ProtocolStats* stats_;
+  std::size_t n_;
+  std::size_t cq_;
+
+  std::uint64_t next_own_slot_;  // smallest own slot not yet used/skipped
+  /// floor_[q]: q has used-or-skipped all its own slots < floor_[q].
+  /// CRITICAL: floors are only ever learned from q itself (its ACCEPTs,
+  /// ACCEPTED replies, COMMITs and heartbeats). Per-link FIFO then
+  /// guarantees that when floor_[q] passes slot s, q's ACCEPT for s — if s
+  /// was used rather than skipped — has already been seen, so "not in
+  /// accepted_slots_ and below the floor" is a sound skip test.
+  std::vector<std::uint64_t> floor_;
+  /// Slots known proposed (value in flight) but not yet committed.
+  std::unordered_map<std::uint64_t, bool> accepted_slots_;
+
+  struct Pending {
+    rsm::Command cmd;
+    std::uint32_t acks = 1;  // self
+    Time start = 0;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;  // coordinator side
+  std::map<std::uint64_t, rsm::Command> committed_;
+  std::uint64_t next_deliver_ = 0;
+};
+
+}  // namespace caesar::mencius

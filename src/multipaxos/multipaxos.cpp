@@ -1,0 +1,93 @@
+#include "multipaxos/multipaxos.h"
+
+namespace caesar::mpaxos {
+
+MultiPaxos::MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
+                       stats::ProtocolStats* stats)
+    : rt::Protocol(env, std::move(deliver)), cfg_(cfg), stats_(stats) {}
+
+void MultiPaxos::propose(rsm::Command cmd) {
+  if (is_leader()) {
+    lead(std::move(cmd));
+    return;
+  }
+  net::Encoder e;
+  cmd.encode(e);
+  env_.send(cfg_.leader, kForward, std::move(e));
+}
+
+void MultiPaxos::lead(rsm::Command cmd) {
+  const std::uint64_t index = next_index_++;
+  net::Encoder e;
+  e.put_u64(index);
+  cmd.encode(e);
+  pending_.emplace(index, Pending{std::move(cmd), 1, false});  // own ack
+  env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
+}
+
+void MultiPaxos::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
+  switch (type) {
+    case kForward: {
+      rsm::Command cmd = rsm::Command::decode(d);
+      if (is_leader()) lead(std::move(cmd));
+      return;
+    }
+    case kAccept:
+      handle_accept(from, d);
+      return;
+    case kAccepted:
+      handle_accepted(d);
+      return;
+    case kCommit:
+      handle_commit(d);
+      return;
+    default:
+      return;
+  }
+}
+
+void MultiPaxos::handle_accept(NodeId from, net::Decoder& d) {
+  const std::uint64_t index = d.get_u64();
+  rsm::Command cmd = rsm::Command::decode(d);
+  (void)cmd;  // the COMMIT re-carries the command; acceptors just ack here
+  net::Encoder e;
+  e.put_u64(index);
+  env_.send(from, kAccepted, std::move(e));
+}
+
+void MultiPaxos::handle_accepted(net::Decoder& d) {
+  if (!is_leader()) return;
+  const std::uint64_t index = d.get_u64();
+  auto it = pending_.find(index);
+  if (it == pending_.end() || it->second.committed) return;
+  Pending& p = it->second;
+  ++p.acks;
+  if (p.acks < classic_quorum_size(env_.cluster_size())) return;
+  p.committed = true;
+  if (stats_ != nullptr) ++stats_->fast_decisions;
+  net::Encoder e;
+  e.put_u64(index);
+  p.cmd.encode(e);
+  env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+  committed_.emplace(index, std::move(p.cmd));
+  pending_.erase(it);
+  try_deliver();
+}
+
+void MultiPaxos::handle_commit(net::Decoder& d) {
+  const std::uint64_t index = d.get_u64();
+  committed_.emplace(index, rsm::Command::decode(d));
+  try_deliver();
+}
+
+void MultiPaxos::try_deliver() {
+  auto it = committed_.find(deliver_next_);
+  while (it != committed_.end()) {
+    deliver_(it->second);
+    committed_.erase(it);
+    ++deliver_next_;
+    it = committed_.find(deliver_next_);
+  }
+}
+
+}  // namespace caesar::mpaxos

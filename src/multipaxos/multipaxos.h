@@ -1,0 +1,69 @@
+// Multi-Paxos baseline (paper §II, evaluated in Figs 7 and 9).
+//
+// A single stable leader orders all commands: non-leader replicas forward
+// client commands to the leader; the leader assigns consecutive log indices,
+// runs phase-2 (ACCEPT/ACCEPTED) against a majority, then broadcasts COMMIT.
+// Replicas deliver the log in index order. The leader site is configurable —
+// the paper deploys it both close to a quorum (Ireland) and far from one
+// (Mumbai).
+//
+// Leader election/recovery is deliberately out of scope: the paper's failure
+// experiment (Fig 12) only exercises CAESAR and EPaxos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "runtime/protocol.h"
+#include "stats/protocol_stats.h"
+
+namespace caesar::mpaxos {
+
+struct MultiPaxosConfig {
+  NodeId leader = 0;
+};
+
+class MultiPaxos final : public rt::Protocol {
+ public:
+  MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
+             stats::ProtocolStats* stats);
+
+  void propose(rsm::Command cmd) override;
+  void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  std::string_view name() const override { return "MultiPaxos"; }
+
+  bool is_leader() const { return env_.id() == cfg_.leader; }
+
+ private:
+  enum MsgType : std::uint16_t {
+    kForward = 1,   // non-leader -> leader: client command
+    kAccept = 2,    // leader -> all: log entry
+    kAccepted = 3,  // acceptor -> leader: ack
+    kCommit = 4,    // leader -> all: entry is chosen
+  };
+
+  void lead(rsm::Command cmd);
+  void handle_accept(NodeId from, net::Decoder& d);
+  void handle_accepted(net::Decoder& d);
+  void handle_commit(net::Decoder& d);
+  void try_deliver();
+
+  MultiPaxosConfig cfg_;
+  stats::ProtocolStats* stats_;
+
+  // Leader bookkeeping: acks per in-flight index.
+  struct Pending {
+    rsm::Command cmd;
+    std::uint32_t acks = 0;
+    bool committed = false;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_index_ = 0;
+
+  // Learner state (all nodes): chosen log and delivery watermark.
+  std::map<std::uint64_t, rsm::Command> committed_;
+  std::uint64_t deliver_next_ = 0;
+};
+
+}  // namespace caesar::mpaxos

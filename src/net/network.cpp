@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace caesar::net {
+
+Network::Network(sim::Simulator& sim, Topology topo, NetworkConfig cfg)
+    : sim_(sim),
+      topo_(std::move(topo)),
+      cfg_(cfg),
+      sinks_(topo_.size()),
+      crashed_(topo_.size(), false),
+      link_up_(topo_.size(), std::vector<bool>(topo_.size(), true)),
+      last_arrival_(topo_.size(), std::vector<Time>(topo_.size(), 0)),
+      rng_(sim.rng().fork()) {}
+
+void Network::set_sink(NodeId node, Sink sink) {
+  assert(node < sinks_.size());
+  sinks_[node] = std::move(sink);
+}
+
+Time Network::delay_for(NodeId from, NodeId to, std::size_t bytes) {
+  if (from == to) return std::max<Time>(topo_.loopback_us, 1);
+  const Time base = topo_.one_way_us[from][to];
+  const Time add_jitter =
+      topo_.jitter_base_us > 0
+          ? static_cast<Time>(rng_.uniform(0.0, static_cast<double>(topo_.jitter_base_us)))
+          : 0;
+  const Time mul_jitter =
+      static_cast<Time>(rng_.uniform(0.0, topo_.jitter_frac) * static_cast<double>(base));
+  const Time wire = static_cast<Time>(
+      static_cast<double>(bytes + cfg_.overhead_bytes) / cfg_.bytes_per_us);
+  return base + add_jitter + mul_jitter + wire;
+}
+
+void Network::send(NodeId from, NodeId to,
+                   std::shared_ptr<const std::vector<std::byte>> payload) {
+  assert(from < topo_.size() && to < topo_.size());
+  bytes_sent_ += payload->size() + cfg_.overhead_bytes;
+  if (crashed_[from] || crashed_[to] || !link_up_[from][to]) {
+    ++messages_dropped_;
+    return;
+  }
+  Time arrival = sim_.now() + delay_for(from, to, payload->size());
+  // FIFO per link: never deliver before an earlier message on this link.
+  arrival = std::max(arrival, last_arrival_[from][to] + 1);
+  last_arrival_[from][to] = arrival;
+  sim_.at(arrival, [this, from, to, payload = std::move(payload)]() mutable {
+    if (crashed_[to] || crashed_[from]) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    if (sinks_[to]) sinks_[to](from, std::move(payload));
+  });
+}
+
+void Network::crash_node(NodeId node) {
+  assert(node < crashed_.size());
+  crashed_[node] = true;
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  link_up_[a][b] = up;
+  link_up_[b][a] = up;
+}
+
+}  // namespace caesar::net

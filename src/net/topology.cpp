@@ -1,0 +1,61 @@
+#include "net/topology.h"
+
+#include <cassert>
+
+namespace caesar::net {
+
+namespace {
+
+Topology symmetric_from_rtt(std::vector<std::string> names,
+                            const std::vector<std::vector<double>>& rtt_ms) {
+  Topology t;
+  const std::size_t n = names.size();
+  t.site_names = std::move(names);
+  t.one_way_us.assign(n, std::vector<Time>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double rtt = rtt_ms[i][j] != 0 ? rtt_ms[i][j] : rtt_ms[j][i];
+      t.one_way_us[i][j] = static_cast<Time>(rtt * 500.0);  // ms/2 -> us
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Topology Topology::ec2_five_sites() {
+  // Index: 0=Virginia 1=Ohio 2=Frankfurt 3=Ireland 4=Mumbai.
+  // RTT matrix in milliseconds, reconstructed from §VI of the paper:
+  // "RTT ... between nodes in EU and US are all below 100ms. The node in
+  //  India experiences ... 186ms/VA, 301ms/OH, 112ms/DE, 122ms/IR."
+  // Intra-US / intra-EU values use typical AWS region pairs of the era.
+  std::vector<std::vector<double>> rtt = {
+      //        VA    OH    DE    IR    IN
+      /*VA*/ {0.0, 11.0, 88.0, 66.0, 186.0},
+      /*OH*/ {11.0, 0.0, 97.0, 75.0, 301.0},
+      /*DE*/ {88.0, 97.0, 0.0, 24.0, 112.0},
+      /*IR*/ {66.0, 75.0, 24.0, 0.0, 122.0},
+      /*IN*/ {186.0, 301.0, 112.0, 122.0, 0.0},
+  };
+  return symmetric_from_rtt({"Virginia", "Ohio", "Frankfurt", "Ireland", "Mumbai"},
+                            rtt);
+}
+
+Topology Topology::uniform(std::size_t n, Time rtt_us) {
+  Topology t;
+  t.site_names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) t.site_names.push_back("site" + std::to_string(i));
+  t.one_way_us.assign(n, std::vector<Time>(n, rtt_us / 2));
+  for (std::size_t i = 0; i < n; ++i) t.one_way_us[i][i] = 0;
+  return t;
+}
+
+Topology Topology::lan(std::size_t n) {
+  Topology t = uniform(n, 200);
+  t.jitter_base_us = 20;
+  t.jitter_frac = 0.05;
+  return t;
+}
+
+}  // namespace caesar::net

@@ -1,0 +1,38 @@
+// Cluster topology: per-pair one-way propagation delays plus jitter
+// parameters. The ec2_five_sites() preset encodes the RTT matrix the paper
+// measured between its five Amazon EC2 regions (§VI).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace caesar::net {
+
+struct Topology {
+  std::vector<std::string> site_names;
+  /// one_way_us[i][j]: base one-way propagation delay i -> j in microseconds.
+  std::vector<std::vector<Time>> one_way_us;
+  /// Additive jitter: uniform in [0, jitter_base_us).
+  Time jitter_base_us = 200;
+  /// Multiplicative jitter: uniform in [0, jitter_frac * one_way).
+  double jitter_frac = 0.02;
+  /// Delay for a node sending to itself (library loopback).
+  Time loopback_us = 15;
+
+  std::size_t size() const { return one_way_us.size(); }
+
+  /// The paper's testbed: Virginia, Ohio, Frankfurt, Ireland, Mumbai.
+  /// RTTs (ms): EU/US pairs < 100; Mumbai: 186/VA, 301/OH, 112/DE, 122/IR.
+  static Topology ec2_five_sites();
+
+  /// n sites, all pairs with the same round-trip time.
+  static Topology uniform(std::size_t n, Time rtt_us);
+
+  /// n sites on a LAN (0.2 ms RTT) — used by unit tests for speed.
+  static Topology lan(std::size_t n);
+};
+
+}  // namespace caesar::net

@@ -1,0 +1,35 @@
+#include "rsm/command.h"
+
+namespace caesar::rsm {
+
+void Command::encode(net::Encoder& e) const {
+  e.put_u64(id);
+  e.put_u32(origin);
+  e.put_varint(ops.size());
+  for (const Op& op : ops) {
+    e.put_u64(op.key);
+    e.put_u64(op.req);
+    e.put_u64(op.value);
+  }
+}
+
+Command Command::decode(net::Decoder& d) {
+  Command c;
+  c.id = d.get_u64();
+  c.origin = d.get_u32();
+  const std::size_t n = static_cast<std::size_t>(d.get_varint());
+  c.ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Op op;
+    op.key = d.get_u64();
+    op.req = d.get_u64();
+    op.value = d.get_u64();
+    c.ops.push_back(op);
+  }
+  // Wire order is already sorted (encode preserves it), but re-finalizing
+  // keeps the invariant even for messages built by older encoders.
+  c.finalize();
+  return c;
+}
+
+}  // namespace caesar::rsm

@@ -1,0 +1,71 @@
+// Replicated-state-machine commands and the conflict relation.
+//
+// The paper's benchmark issues single-key updates against a replicated
+// key-value store; two commands conflict iff they touch the same key (§VI).
+// A Command carries one Op per client request; runtime-level batching can
+// merge several client requests into one composite Command whose key set is
+// the union of the members'.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/serialization.h"
+
+namespace caesar::rsm {
+
+/// One key-value update issued by a client. `req` identifies the client
+/// request so the origin site can complete it at delivery time.
+struct Op {
+  Key key = 0;
+  ReqId req = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+struct Command {
+  CmdId id = kNoCmd;
+  NodeId origin = kNoNode;
+  /// Ops sorted by key (maintained by finalize()); usually exactly one.
+  std::vector<Op> ops;
+
+  /// Sorts ops by key; must be called after constructing a composite.
+  void finalize() {
+    std::sort(ops.begin(), ops.end(),
+              [](const Op& a, const Op& b) { return a.key < b.key; });
+  }
+
+  bool valid() const { return id != kNoCmd && !ops.empty(); }
+
+  /// Conflict relation ~ from the paper: key sets intersect.
+  /// Ops are key-sorted, so this is a linear merge-scan.
+  bool conflicts_with(const Command& other) const {
+    auto a = ops.begin();
+    auto b = other.ops.begin();
+    while (a != ops.end() && b != other.ops.end()) {
+      if (a->key == b->key) return true;
+      if (a->key < b->key) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  bool touches(Key k) const {
+    auto it = std::lower_bound(ops.begin(), ops.end(), k,
+                               [](const Op& op, Key key) { return op.key < key; });
+    return it != ops.end() && it->key == k;
+  }
+
+  void encode(net::Encoder& e) const;
+  static Command decode(net::Decoder& d);
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+}  // namespace caesar::rsm

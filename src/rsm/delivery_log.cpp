@@ -1,0 +1,33 @@
+#include "rsm/delivery_log.h"
+
+#include <unordered_set>
+
+namespace caesar::rsm {
+
+namespace {
+
+/// Checks that the elements common to `x` and `y` appear in the same order.
+bool common_subsequence_ordered(const std::vector<CmdId>& x,
+                                const std::vector<CmdId>& y) {
+  std::unordered_set<CmdId> in_x(x.begin(), x.end());
+  std::unordered_set<CmdId> in_y(y.begin(), y.end());
+  std::vector<CmdId> fx, fy;
+  for (CmdId id : x)
+    if (in_y.count(id) != 0) fx.push_back(id);
+  for (CmdId id : y)
+    if (in_x.count(id) != 0) fy.push_back(id);
+  return fx == fy;
+}
+
+}  // namespace
+
+bool consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b) {
+  for (const auto& [key, seq_a] : a.per_key()) {
+    const auto& seq_b = b.key_sequence(key);
+    if (seq_b.empty()) continue;
+    if (!common_subsequence_ordered(seq_a, seq_b)) return false;
+  }
+  return true;
+}
+
+}  // namespace caesar::rsm

@@ -1,0 +1,48 @@
+// Records the order in which a node delivered (decided) commands.
+//
+// Used by tests to check the Generalized Consensus consistency property:
+// for every key, all nodes must deliver the commands touching that key in
+// the same relative order (non-conflicting commands may be permuted).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rsm/command.h"
+
+namespace caesar::rsm {
+
+class DeliveryLog {
+ public:
+  void record(const Command& cmd) {
+    sequence_.push_back(cmd.id);
+    for (const Op& op : cmd.ops) per_key_[op.key].push_back(cmd.id);
+  }
+
+  /// Full delivery order on this node.
+  const std::vector<CmdId>& sequence() const { return sequence_; }
+
+  /// Delivery order restricted to commands touching `k`.
+  const std::vector<CmdId>& key_sequence(Key k) const {
+    static const std::vector<CmdId> kEmpty;
+    auto it = per_key_.find(k);
+    return it == per_key_.end() ? kEmpty : it->second;
+  }
+
+  const std::unordered_map<Key, std::vector<CmdId>>& per_key() const {
+    return per_key_;
+  }
+
+  std::size_t size() const { return sequence_.size(); }
+
+ private:
+  std::vector<CmdId> sequence_;
+  std::unordered_map<Key, std::vector<CmdId>> per_key_;
+};
+
+/// Returns true if `a` is order-consistent with `b` for every key: the common
+/// elements of the two per-key sequences appear in the same relative order.
+/// (Nodes may have delivered different prefixes when a run is cut off.)
+bool consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b);
+
+}  // namespace caesar::rsm

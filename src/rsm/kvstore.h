@@ -1,0 +1,45 @@
+// Versioned in-memory key-value store: the replicated state machine the
+// consensus protocols feed. apply() is the DECIDE(c) end of the Generalized
+// Consensus interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "rsm/command.h"
+
+namespace caesar::rsm {
+
+class KvStore {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;  // number of writes applied to this key
+  };
+
+  /// Applies every op of `cmd` (last-writer-wins per op order).
+  void apply(const Command& cmd) {
+    for (const Op& op : cmd.ops) {
+      Entry& e = map_[op.key];
+      e.value = op.value;
+      ++e.version;
+    }
+    ++applied_commands_;
+  }
+
+  std::optional<Entry> get(Key k) const {
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint64_t applied_commands() const { return applied_commands_; }
+  std::size_t key_count() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Key, Entry> map_;
+  std::uint64_t applied_commands_ = 0;
+};
+
+}  // namespace caesar::rsm

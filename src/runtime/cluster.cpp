@@ -1,0 +1,37 @@
+#include "runtime/cluster.h"
+
+namespace caesar::rt {
+
+Cluster::Cluster(sim::Simulator& sim, const net::Topology& topo,
+                 ClusterConfig cfg, const ProtocolFactory& factory,
+                 DeliverHook on_deliver)
+    : sim_(sim), net_(sim, topo), cfg_(cfg), on_deliver_(std::move(on_deliver)) {
+  const std::size_t n = topo.size();
+  nodes_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, net_, i, cfg_.node));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    Node& node = *nodes_[i];
+    node.set_protocol(factory(node, [this, i](const rsm::Command& cmd) {
+      if (on_deliver_) on_deliver_(i, cmd);
+    }));
+  }
+}
+
+void Cluster::start() {
+  for (auto& node : nodes_) node->protocol().start();
+}
+
+void Cluster::crash(NodeId id) {
+  nodes_[id]->crash();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (i == id || nodes_[i]->crashed()) continue;
+    Node* peer = nodes_[i].get();
+    sim_.after(cfg_.fd_timeout_us, [peer, id] {
+      if (!peer->crashed()) peer->protocol().on_node_suspected(id);
+    });
+  }
+}
+
+}  // namespace caesar::rt

@@ -1,0 +1,52 @@
+// Cluster: wires a Simulator, a Network and N protocol-hosting Nodes, plus a
+// simulated failure detector (crash -> suspicion upcall after a timeout),
+// which the paper's model assumes (§III: weakest FD sufficient for leader
+// election).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/node.h"
+
+namespace caesar::rt {
+
+struct ClusterConfig {
+  NodeConfig node;
+  /// Delay between a crash and every live node's failure detector reporting
+  /// the suspicion.
+  Time fd_timeout_us = 500 * kMs;
+};
+
+class Cluster {
+ public:
+  /// Builds the protocol instance for one node.
+  using ProtocolFactory =
+      std::function<std::unique_ptr<Protocol>(Env&, Protocol::DeliverFn)>;
+  /// Observes every delivery (node, command) — metrics, state machine, tests.
+  using DeliverHook = std::function<void(NodeId, const rsm::Command&)>;
+
+  Cluster(sim::Simulator& sim, const net::Topology& topo, ClusterConfig cfg,
+          const ProtocolFactory& factory, DeliverHook on_deliver);
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  net::Network& network() { return net_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Calls Protocol::start on every node.
+  void start();
+
+  /// Crashes `id` now and schedules suspicion upcalls on all live nodes.
+  void crash(NodeId id);
+
+ private:
+  sim::Simulator& sim_;
+  net::Network net_;
+  ClusterConfig cfg_;
+  DeliverHook on_deliver_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace caesar::rt

@@ -1,0 +1,152 @@
+#include "runtime/node.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace caesar::rt {
+
+Node::Node(sim::Simulator& sim, net::Network& net, NodeId id, NodeConfig cfg)
+    : sim_(sim), net_(net), id_(id), cfg_(cfg), rng_(sim.rng().fork()) {
+  net_.set_sink(id_, [this](NodeId from,
+                            std::shared_ptr<const std::vector<std::byte>> p) {
+    on_packet(from, std::move(p));
+  });
+}
+
+void Node::set_protocol(std::unique_ptr<Protocol> protocol) {
+  protocol_ = std::move(protocol);
+}
+
+namespace {
+std::shared_ptr<const std::vector<std::byte>> frame(std::uint16_t type,
+                                                    net::Encoder body) {
+  std::vector<std::byte> payload = body.take();
+  net::Encoder framed(payload.size() + 2);
+  framed.put_u16(type);
+  std::vector<std::byte> out = framed.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return std::make_shared<const std::vector<std::byte>>(std::move(out));
+}
+}  // namespace
+
+void Node::send(NodeId to, std::uint16_t type, net::Encoder body) {
+  if (crashed_) return;
+  net_.send(id_, to, frame(type, std::move(body)));
+}
+
+void Node::broadcast(std::uint16_t type, net::Encoder body, bool include_self) {
+  if (crashed_) return;
+  auto bytes = frame(type, std::move(body));
+  for (NodeId to = 0; to < net_.size(); ++to) {
+    if (!include_self && to == id_) continue;
+    net_.send(id_, to, bytes);
+  }
+}
+
+sim::EventId Node::set_timer(Time delay, std::function<void()> fn) {
+  return sim_.after(delay, [this, fn = std::move(fn)] {
+    if (!crashed_) fn();
+  });
+}
+
+void Node::cancel_timer(sim::EventId id) {
+  if (id != sim::kNoEvent) sim_.cancel(id);
+}
+
+void Node::on_packet(NodeId from,
+                     std::shared_ptr<const std::vector<std::byte>> bytes) {
+  if (crashed_) return;
+  enqueue(
+      [this, from, bytes = std::move(bytes)] {
+        ++messages_handled_;
+        try {
+          net::Decoder d{std::span<const std::byte>(*bytes)};
+          const std::uint16_t type = d.get_u16();
+          protocol_->on_message(from, type, d);
+        } catch (const net::DecodeError& e) {
+          log::error("node ", id_, ": dropping corrupt message from ", from,
+                     ": ", e.what());
+        }
+      },
+      cfg_.base_service_us);
+}
+
+void Node::enqueue(std::function<void()> fn, Time service) {
+  if (crashed_) return;
+  queue_.push_back(Task{std::move(fn), service});
+  if (!busy_) run_next();
+}
+
+void Node::run_next() {
+  if (crashed_) {
+    busy_ = false;
+    return;
+  }
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  extra_charge_ = 0;
+  task.fn();
+  const Time service = task.service + extra_charge_;
+  busy_time_ += service;
+  sim_.after(service, [this] { run_next(); });
+}
+
+void Node::submit(rsm::Command cmd) {
+  if (crashed_) return;
+  assert(protocol_ != nullptr);
+  cmd.id = fresh_cmd_id();
+  cmd.origin = id_;
+  cmd.finalize();
+  if (!cfg_.batching) {
+    enqueue(
+        [this, c = std::move(cmd)]() mutable { protocol_->propose(std::move(c)); },
+        cfg_.submit_service_us);
+    return;
+  }
+  batch_ops_ += cmd.ops.size();
+  batch_.push_back(std::move(cmd));
+  if (batch_.size() == 1) {
+    batch_timer_ = set_timer(cfg_.batch_delay_us, [this] { flush_batch(); });
+  }
+  if (batch_ops_ >= cfg_.batch_max_ops) {
+    cancel_timer(batch_timer_);
+    batch_timer_ = sim::kNoEvent;
+    flush_batch();
+  }
+}
+
+void Node::flush_batch() {
+  if (crashed_ || batch_.empty()) return;
+  std::vector<rsm::Command> cmds = std::move(batch_);
+  batch_.clear();
+  batch_ops_ = 0;
+  batch_timer_ = sim::kNoEvent;
+  const Time service =
+      cfg_.submit_service_us +
+      cfg_.per_op_service_us * static_cast<Time>(cmds.size());
+  enqueue(
+      [this, cs = std::move(cmds)]() mutable {
+        protocol_->propose_batch(std::move(cs));
+      },
+      service);
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  queue_.clear();
+  busy_ = false;
+  batch_.clear();
+  batch_ops_ = 0;
+  net_.crash_node(id_);
+  log::info("node ", id_, " crashed at t=", sim_.now());
+}
+
+}  // namespace caesar::rt

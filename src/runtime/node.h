@@ -1,0 +1,103 @@
+// Node runtime: hosts one protocol instance on one simulated machine.
+//
+// Responsibilities:
+//   * frames outgoing messages (type tag + body) and hands bytes to the
+//     network; unframes and dispatches incoming bytes;
+//   * models the node's CPU as a serial server: each message/submission has a
+//     service time (base + whatever the handler charges), and a busy node
+//     queues work — this is what makes throughput saturate (paper Figs 8, 9);
+//   * mints command ids for client submissions and optionally batches
+//     submissions within a time window (paper's "network batching");
+//   * implements crash-stop: a crashed node drops all queued work, timers and
+//     traffic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "runtime/protocol.h"
+
+namespace caesar::rt {
+
+struct NodeConfig {
+  /// Base CPU service time per handled message, microseconds.
+  Time base_service_us = 10;
+  /// CPU service time for accepting one client submission.
+  Time submit_service_us = 3;
+  /// Client-request batching (the paper evaluates with and without).
+  bool batching = false;
+  Time batch_delay_us = 2000;
+  std::size_t batch_max_ops = 128;
+  /// Extra per-op service charged when proposing composite batches.
+  Time per_op_service_us = 1;
+};
+
+class Node final : public Env {
+ public:
+  Node(sim::Simulator& sim, net::Network& net, NodeId id, NodeConfig cfg);
+
+  /// Installs the protocol; must happen before any traffic.
+  void set_protocol(std::unique_ptr<Protocol> protocol);
+  Protocol& protocol() { return *protocol_; }
+
+  /// Client entry point: assigns the command an id and proposes it (possibly
+  /// after batching).
+  void submit(rsm::Command cmd);
+
+  /// Crash-stop. Drops queued work, stops timers firing, severs the network.
+  void crash();
+  bool crashed() const { return crashed_; }
+
+  // --- Env interface -------------------------------------------------------
+  NodeId id() const override { return id_; }
+  std::size_t cluster_size() const override { return net_.size(); }
+  Time now() const override { return sim_.now(); }
+  void send(NodeId to, std::uint16_t type, net::Encoder body) override;
+  void broadcast(std::uint16_t type, net::Encoder body,
+                 bool include_self) override;
+  sim::EventId set_timer(Time delay, std::function<void()> fn) override;
+  void cancel_timer(sim::EventId id) override;
+  Rng& rng() override { return rng_; }
+  void charge_cpu(Time extra) override { extra_charge_ += extra; }
+  CmdId fresh_cmd_id() override { return make_cmd_id(id_, ++cmd_counter_); }
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t messages_handled() const { return messages_handled_; }
+  Time cpu_busy_time() const { return busy_time_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void on_packet(NodeId from,
+                 std::shared_ptr<const std::vector<std::byte>> bytes);
+  void enqueue(std::function<void()> fn, Time service);
+  void run_next();
+  void flush_batch();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId id_;
+  NodeConfig cfg_;
+  std::unique_ptr<Protocol> protocol_;
+  Rng rng_;
+  bool crashed_ = false;
+
+  struct Task {
+    std::function<void()> fn;
+    Time service;
+  };
+  std::deque<Task> queue_;
+  bool busy_ = false;
+  Time extra_charge_ = 0;
+  Time busy_time_ = 0;
+  std::uint64_t messages_handled_ = 0;
+  std::uint64_t cmd_counter_ = 0;
+
+  std::vector<rsm::Command> batch_;
+  std::size_t batch_ops_ = 0;
+  sim::EventId batch_timer_ = sim::kNoEvent;
+};
+
+}  // namespace caesar::rt

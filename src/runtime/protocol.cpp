@@ -1,0 +1,28 @@
+#include "runtime/protocol.h"
+
+namespace caesar::rt {
+
+rsm::Command Protocol::make_composite(std::vector<rsm::Command>& cmds) {
+  rsm::Command out;
+  out.id = env_.fresh_cmd_id();
+  out.origin = env_.id();
+  std::size_t total = 0;
+  for (const auto& c : cmds) total += c.ops.size();
+  out.ops.reserve(total);
+  for (auto& c : cmds) {
+    out.ops.insert(out.ops.end(), c.ops.begin(), c.ops.end());
+  }
+  out.finalize();
+  return out;
+}
+
+void Protocol::propose_batch(std::vector<rsm::Command> cmds) {
+  if (cmds.empty()) return;
+  if (cmds.size() == 1) {
+    propose(std::move(cmds.front()));
+    return;
+  }
+  propose(make_composite(cmds));
+}
+
+}  // namespace caesar::rt

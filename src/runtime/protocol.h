@@ -1,0 +1,97 @@
+// Protocol host interface.
+//
+// Every consensus implementation (CAESAR and the four baselines) plugs into
+// the node runtime through this interface. The runtime supplies messaging,
+// timers, randomness and CPU accounting via Env; the protocol supplies
+// propose/on_message handlers and calls the deliver callback exactly once per
+// command, in its decided order — the DECIDE(c) side of Generalized
+// Consensus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/serialization.h"
+#include "rsm/command.h"
+#include "sim/simulator.h"
+
+namespace caesar::rt {
+
+/// Services a node runtime provides to its protocol instance.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual NodeId id() const = 0;
+  virtual std::size_t cluster_size() const = 0;
+  virtual Time now() const = 0;
+
+  /// Sends one message; the encoder holds the message body (the runtime
+  /// prepends the type tag).
+  virtual void send(NodeId to, std::uint16_t type, net::Encoder body) = 0;
+
+  /// Sends the same body to every node; with include_self the message loops
+  /// back through the network (uniform code path for quorum counting).
+  virtual void broadcast(std::uint16_t type, net::Encoder body,
+                         bool include_self) = 0;
+
+  virtual sim::EventId set_timer(Time delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(sim::EventId id) = 0;
+
+  virtual Rng& rng() = 0;
+
+  /// Adds `extra` microseconds of service time to the message currently being
+  /// processed (protocols charge algorithmic work, e.g. graph analysis).
+  virtual void charge_cpu(Time extra) = 0;
+
+  /// Mints a cluster-unique command id originating at this node.
+  virtual CmdId fresh_cmd_id() = 0;
+};
+
+class Protocol {
+ public:
+  /// Invoked exactly once per command on each node, in decided order.
+  using DeliverFn = std::function<void(const rsm::Command&)>;
+
+  Protocol(Env& env, DeliverFn deliver)
+      : env_(env), deliver_(std::move(deliver)) {}
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Called once after the whole cluster is wired up.
+  virtual void start() {}
+
+  /// Proposes a command with this node as its leader. `cmd.id` and
+  /// `cmd.origin` are already set by the runtime.
+  virtual void propose(rsm::Command cmd) = 0;
+
+  /// Proposes a group of client commands that arrived within one batching
+  /// window. Default: merge into a single composite command (key-set union).
+  /// Protocols with routing concerns (M2Paxos) override this.
+  virtual void propose_batch(std::vector<rsm::Command> cmds);
+
+  /// Dispatches an incoming message. `type` is the protocol-private tag the
+  /// sender passed to Env::send.
+  virtual void on_message(NodeId from, std::uint16_t type, net::Decoder& d) = 0;
+
+  /// Failure-detector upcall: `peer` is suspected to have crashed.
+  virtual void on_node_suspected(NodeId peer) { (void)peer; }
+
+  virtual std::string_view name() const = 0;
+
+ protected:
+  /// Merges client commands into one composite command with a fresh id.
+  rsm::Command make_composite(std::vector<rsm::Command>& cmds);
+
+  Env& env_;
+  DeliverFn deliver_;
+};
+
+}  // namespace caesar::rt

@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace caesar::sim {
+
+EventId Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  tombstones_.insert(id);
+  return true;
+}
+
+void Simulator::pop_and_run() {
+  const Event ev = queue_.top();
+  queue_.pop();
+  auto tomb = tombstones_.find(ev.id);
+  if (tomb != tombstones_.end()) {
+    tombstones_.erase(tomb);
+    return;
+  }
+  auto it = handlers_.find(ev.id);
+  assert(it != handlers_.end());
+  // Move the handler out before invoking: the handler may schedule/cancel.
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  now_ = ev.time;
+  ++executed_;
+  fn();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    if (tombstones_.count(queue_.top().id) != 0) {
+      tombstones_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    pop_and_run();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (tombstones_.count(queue_.top().id) != 0) {
+      tombstones_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    pop_and_run();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace caesar::sim

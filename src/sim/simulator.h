@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate substituting for the paper's EC2 testbed: all network
+// delivery, timer expiry, CPU completion and client activity is an event in a
+// single totally-ordered queue. Two runs with the same seed execute the exact
+// same event sequence, which makes the geo-replication experiments
+// reproducible and lets tests inject crashes at precise instants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace caesar::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (microseconds).
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now()).
+  /// Events at equal times run in schedule order (FIFO), which keeps runs
+  /// deterministic.
+  EventId at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` microseconds from now.
+  EventId after(Time delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled. Cancellation is lazy (tombstone set) — O(1).
+  bool cancel(EventId id);
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(Time t);
+
+  /// Root random stream; components should fork() their own sub-streams.
+  Rng& rng() { return rng_; }
+
+  std::size_t pending_events() const { return queue_.size() - tombstones_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    // Ordering for the min-heap: earliest time first, then insertion order.
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  void pop_and_run();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // fn storage separate from the heap so Event stays trivially copyable.
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> tombstones_;
+  Rng rng_;
+};
+
+}  // namespace caesar::sim

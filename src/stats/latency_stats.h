@@ -1,0 +1,65 @@
+// Exact latency statistics: stores every sample, computes mean/percentiles
+// on demand. Experiment runs deliver at most a few million commands, so exact
+// samples are affordable and avoid histogram quantization in the
+// paper-comparison tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace caesar::stats {
+
+class LatencyStats {
+ public:
+  void record(Time v) {
+    samples_.push_back(v);
+    sum_ += v;
+  }
+
+  std::uint64_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    return samples_.empty() ? 0.0
+                            : static_cast<double>(sum_) / samples_.size();
+  }
+
+  Time min() const {
+    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  Time max() const {
+    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p in [0, 100]. Exact (nth_element over a scratch copy).
+  Time percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<Time> scratch = samples_;
+    const double rank = p / 100.0 * static_cast<double>(scratch.size() - 1);
+    auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(rank);
+    std::nth_element(scratch.begin(), nth, scratch.end());
+    return *nth;
+  }
+
+  void merge(const LatencyStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+  const std::vector<Time>& samples() const { return samples_; }
+
+ private:
+  std::vector<Time> samples_;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace caesar::stats

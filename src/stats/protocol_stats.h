@@ -1,0 +1,38 @@
+// Counters every protocol implementation exports so the harness can report
+// fast/slow path ratios (paper Fig 10) and CAESAR's phase breakdown and wait
+// times (paper Fig 11).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "stats/latency_stats.h"
+
+namespace caesar::stats {
+
+struct ProtocolStats {
+  // Decision paths, counted once per command at its leader.
+  std::uint64_t fast_decisions = 0;
+  std::uint64_t slow_decisions = 0;
+  std::uint64_t retries = 0;            // retry phases executed
+  std::uint64_t slow_proposals = 0;     // CAESAR slow-proposal phases
+  std::uint64_t recoveries = 0;         // recovery procedures started
+
+  // CAESAR wait condition (Fig 11b): time proposals spend parked.
+  LatencyStats wait_time;
+  std::uint64_t waits = 0;
+
+  // Phase latency breakdown at the leader (Fig 11a).
+  LatencyStats propose_phase;   // propose sent -> outcome known
+  LatencyStats retry_phase;     // retry sent -> quorum of acks
+  LatencyStats deliver_phase;   // stable known -> command delivered locally
+
+  double slow_path_fraction() const {
+    const std::uint64_t total = fast_decisions + slow_decisions;
+    return total == 0 ? 0.0
+                      : static_cast<double>(slow_decisions) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace caesar::stats

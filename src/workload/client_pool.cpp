@@ -1,0 +1,99 @@
+#include "workload/client_pool.h"
+
+#include <cassert>
+
+namespace caesar::wl {
+
+ClientPool::ClientPool(sim::Simulator& sim, rt::Cluster& cluster,
+                       WorkloadConfig cfg, Rng rng)
+    : sim_(sim), cluster_(cluster), cfg_(cfg), rng_(std::move(rng)) {
+  const std::size_t sites = cluster_.size();
+  clients_.reserve(sites * cfg_.clients_per_site);
+  std::uint64_t global_id = 0;
+  for (NodeId site = 0; site < sites; ++site) {
+    for (std::uint32_t i = 0; i < cfg_.clients_per_site; ++i) {
+      clients_.push_back(Client{
+          site,
+          KeyChooser(cfg_.conflict_fraction, cfg_.shared_pool_size, global_id),
+          0, 0, false});
+      ++global_id;
+    }
+  }
+}
+
+void ClientPool::start() {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    // Small stagger so all clients do not fire in the same microsecond.
+    sim_.after(static_cast<Time>(rng_.uniform_int(1000)),
+               [this, i] { submit_next(i); });
+  }
+}
+
+void ClientPool::submit_next(std::uint32_t client_idx) {
+  Client& c = clients_[client_idx];
+  if (c.stopped) return;
+  rt::Node& node = cluster_.node(c.home);
+  if (node.crashed()) return;  // on_node_crashed will reassign us
+
+  rsm::Command cmd;
+  rsm::Op op;
+  op.key = c.chooser.next(rng_);
+  op.req = make_req_id(c.home, ++req_counter_);
+  op.value = req_counter_;
+  cmd.ops.push_back(op);
+
+  c.pending = op.req;
+  c.submit_time = sim_.now();
+  pending_[op.req] = client_idx;
+  ++submitted_;
+  node.submit(std::move(cmd));
+}
+
+void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
+  for (const rsm::Op& op : cmd.ops) {
+    if (req_origin(op.req) != node) continue;  // completes at origin site only
+    auto it = pending_.find(op.req);
+    if (it == pending_.end()) continue;  // resubmitted elsewhere meanwhile
+    const std::uint32_t idx = it->second;
+    pending_.erase(it);
+    Client& c = clients_[idx];
+    if (c.pending != op.req) continue;
+    c.pending = 0;
+    ++completed_;
+    if (hook_) {
+      hook_(Completion{op.req, node, c.submit_time, sim_.now()});
+    }
+    if (cfg_.think_us > 0) {
+      sim_.after(cfg_.think_us, [this, idx] { submit_next(idx); });
+    } else {
+      submit_next(idx);
+    }
+  }
+}
+
+void ClientPool::on_node_crashed(NodeId node) {
+  // Clients of the crashed site reconnect to the next live site after a
+  // timeout (paper Fig 12: "clients from that node timeout and reconnect to
+  // other nodes").
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
+    if (c.home != node) continue;
+    if (c.pending != 0) {
+      pending_.erase(c.pending);
+      c.pending = 0;
+    }
+    NodeId target = node;
+    for (std::size_t step = 1; step <= cluster_.size(); ++step) {
+      const NodeId cand = static_cast<NodeId>((node + step) % cluster_.size());
+      if (!cluster_.node(cand).crashed()) {
+        target = cand;
+        break;
+      }
+    }
+    assert(target != node && "no live node to reconnect to");
+    c.home = target;
+    sim_.after(cfg_.reconnect_delay_us, [this, i] { submit_next(i); });
+  }
+}
+
+}  // namespace caesar::wl

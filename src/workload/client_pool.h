@@ -1,0 +1,85 @@
+// Closed-loop client pools, mirroring the paper's measurement methodology
+// (§VI): clients co-located with each site submit a command, wait until their
+// local replica delivers it, then immediately submit the next one.
+//
+// The pool also implements the Fig 12 failover behaviour: when a node
+// crashes, its clients time out and reconnect to the next live site,
+// resubmitting their in-flight request under a fresh request id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "workload/key_chooser.h"
+
+namespace caesar::wl {
+
+struct WorkloadConfig {
+  std::uint32_t clients_per_site = 10;
+  double conflict_fraction = 0.0;
+  std::uint64_t shared_pool_size = 100;
+  /// Optional per-request think time (0 = saturating closed loop).
+  Time think_us = 0;
+  /// How long a crashed site's clients wait before reconnecting elsewhere.
+  Time reconnect_delay_us = 2 * kSec;
+};
+
+/// One completed request, reported to the completion hook.
+struct Completion {
+  ReqId req = 0;
+  NodeId site = kNoNode;  // site the client was connected to at submit time
+  Time submit_time = 0;
+  Time complete_time = 0;
+};
+
+class ClientPool {
+ public:
+  using CompletionHook = std::function<void(const Completion&)>;
+
+  ClientPool(sim::Simulator& sim, rt::Cluster& cluster, WorkloadConfig cfg,
+             Rng rng);
+
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+  /// Starts every client (submits its first request).
+  void start();
+
+  /// Must be called from the cluster's delivery hook for every delivery.
+  void on_delivery(NodeId node, const rsm::Command& cmd);
+
+  /// Reassigns the crashed node's clients to live nodes after the reconnect
+  /// delay; their in-flight requests are resubmitted with fresh ids.
+  void on_node_crashed(NodeId node);
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t submitted() const { return submitted_; }
+  std::size_t client_count() const { return clients_.size(); }
+
+ private:
+  struct Client {
+    NodeId home = kNoNode;     // current connection
+    KeyChooser chooser;
+    ReqId pending = 0;
+    Time submit_time = 0;
+    bool stopped = false;
+  };
+
+  void submit_next(std::uint32_t client_idx);
+
+  sim::Simulator& sim_;
+  rt::Cluster& cluster_;
+  WorkloadConfig cfg_;
+  Rng rng_;
+  CompletionHook hook_;
+  std::vector<Client> clients_;
+  /// In-flight request -> client index.
+  std::unordered_map<ReqId, std::uint32_t> pending_;
+  std::uint64_t req_counter_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace caesar::wl

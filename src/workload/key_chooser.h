@@ -1,0 +1,42 @@
+// Key selection implementing the paper's conflict model (§VI):
+// with probability `conflict_fraction` the command's key comes from a shared
+// pool of `shared_pool_size` keys (default 100); otherwise the client writes
+// to one of its own private keys, which no other client ever touches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace caesar::wl {
+
+class KeyChooser {
+ public:
+  KeyChooser(double conflict_fraction, std::uint64_t shared_pool_size,
+             std::uint64_t global_client_id)
+      : conflict_fraction_(conflict_fraction),
+        shared_pool_size_(shared_pool_size),
+        private_base_((1ull << 40) + (global_client_id << 12)) {}
+
+  Key next(Rng& rng) {
+    if (shared_pool_size_ > 0 && rng.bernoulli(conflict_fraction_)) {
+      return rng.uniform_int(shared_pool_size_);
+    }
+    // Rotate through a small set of private keys: enough that a client does
+    // not serialize on its own previous (still-propagating) command, small
+    // enough that ownership-based protocols (M2Paxos) amortize their
+    // acquisition cost the way the paper's fixed keyspace does.
+    return private_base_ + (private_counter_++ & 0xF);
+  }
+
+  double conflict_fraction() const { return conflict_fraction_; }
+
+ private:
+  double conflict_fraction_;
+  std::uint64_t shared_pool_size_;
+  std::uint64_t private_base_;
+  std::uint64_t private_counter_ = 0;
+};
+
+}  // namespace caesar::wl

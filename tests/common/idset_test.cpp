@@ -1,0 +1,92 @@
+#include "common/idset.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace caesar {
+namespace {
+
+TEST(IdSetTest, StartsEmpty) {
+  IdSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(IdSetTest, InsertReportsNovelty) {
+  IdSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(IdSetTest, KeepsSortedOrder) {
+  IdSet s{9, 1, 7, 3};
+  std::vector<std::uint64_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 3, 7, 9}));
+}
+
+TEST(IdSetTest, InitializerListDeduplicates) {
+  IdSet s{4, 4, 4, 2};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IdSetTest, EraseRemovesOnlyPresent) {
+  IdSet s{1, 2, 3};
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.erase(2));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IdSetTest, MergeIsSetUnion) {
+  IdSet a{1, 3, 5};
+  IdSet b{2, 3, 6};
+  a.merge(b);
+  EXPECT_EQ(a, (IdSet{1, 2, 3, 5, 6}));
+}
+
+TEST(IdSetTest, MergeWithEmptyIsNoop) {
+  IdSet a{1, 2};
+  a.merge(IdSet{});
+  EXPECT_EQ(a, (IdSet{1, 2}));
+}
+
+TEST(IdSetTest, IntersectsDetectsSharedElement) {
+  IdSet a{1, 5, 9};
+  IdSet b{2, 5, 8};
+  IdSet c{3, 4};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(IdSet{}.intersects(a));
+}
+
+TEST(IdSetTest, FromVectorNormalizes) {
+  IdSet s = IdSet::from_vector({7, 1, 7, 3, 1});
+  EXPECT_EQ(s, (IdSet{1, 3, 7}));
+}
+
+TEST(IdSetTest, MatchesStdSetUnderRandomOps) {
+  std::mt19937_64 rng(42);
+  IdSet mine;
+  std::set<std::uint64_t> ref;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng() % 200;
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(mine.erase(v), ref.erase(v) > 0);
+    } else {
+      EXPECT_EQ(mine.insert(v), ref.insert(v).second);
+    }
+  }
+  ASSERT_EQ(mine.size(), ref.size());
+  auto it = ref.begin();
+  for (std::uint64_t v : mine) EXPECT_EQ(v, *it++);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,76 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace caesar {
+namespace {
+
+TEST(TypesTest, CmdIdRoundTrip) {
+  const CmdId id = make_cmd_id(3, 12345);
+  EXPECT_EQ(cmd_origin(id), 3u);
+  EXPECT_EQ(cmd_seq(id), 12345u);
+}
+
+TEST(TypesTest, CmdIdsFromDifferentOriginsDiffer) {
+  EXPECT_NE(make_cmd_id(1, 7), make_cmd_id(2, 7));
+  EXPECT_NE(make_cmd_id(1, 7), make_cmd_id(1, 8));
+}
+
+TEST(TypesTest, CmdIdHandlesLargeSeq) {
+  const std::uint64_t big = (1ull << 48) - 1;
+  const CmdId id = make_cmd_id(65535, big);
+  EXPECT_EQ(cmd_origin(id), 65535u);
+  EXPECT_EQ(cmd_seq(id), big);
+}
+
+TEST(TypesTest, BallotRoundTrip) {
+  const Ballot b = make_ballot(9, 4);
+  EXPECT_EQ(ballot_round(b), 9u);
+  EXPECT_EQ(ballot_node(b), 4u);
+}
+
+TEST(TypesTest, BallotOrderedByRoundFirst) {
+  // A higher round always wins regardless of node id — required so a
+  // recovery leader's ballot dominates the original leader's.
+  EXPECT_LT(make_ballot(0, 5), make_ballot(1, 0));
+  EXPECT_LT(make_ballot(1, 0), make_ballot(1, 3));
+}
+
+TEST(TypesTest, ClassicQuorumSizes) {
+  EXPECT_EQ(classic_quorum_size(3), 2u);
+  EXPECT_EQ(classic_quorum_size(5), 3u);
+  EXPECT_EQ(classic_quorum_size(7), 4u);
+  EXPECT_EQ(classic_quorum_size(4), 3u);
+}
+
+TEST(TypesTest, FastQuorumSizesMatchPaper) {
+  // CAESAR: ceil(3N/4). For N=5 the paper says FQ=4 (one more node than
+  // EPaxos' 3).
+  EXPECT_EQ(fast_quorum_size(5), 4u);
+  EXPECT_EQ(fast_quorum_size(3), 3u);
+  EXPECT_EQ(fast_quorum_size(7), 6u);
+  EXPECT_EQ(fast_quorum_size(4), 3u);
+}
+
+TEST(TypesTest, EPaxosFastQuorumSizes) {
+  EXPECT_EQ(epaxos_fast_quorum_size(5), 3u);  // f + floor((f+1)/2), f=2
+  EXPECT_EQ(epaxos_fast_quorum_size(3), 2u);
+  EXPECT_EQ(epaxos_fast_quorum_size(7), 5u);
+}
+
+TEST(TypesTest, QuorumIntersectionProperties) {
+  // Correctness of CAESAR's recovery hinges on |FQ ∩ CQ| >= floor(CQ/2)+1.
+  for (std::size_t n = 3; n <= 15; ++n) {
+    const std::size_t cq = classic_quorum_size(n);
+    const std::size_t fq = fast_quorum_size(n);
+    // Worst-case overlap between a fast quorum and a classic quorum.
+    const std::size_t overlap = fq + cq > n ? fq + cq - n : 0;
+    EXPECT_GE(overlap, cq / 2 + 1) << "n=" << n;
+    // And any two fast quorums plus one classic quorum intersect.
+    const std::size_t ffc = (fq + fq + cq > 2 * n) ? fq + fq + cq - 2 * n : 0;
+    EXPECT_GE(ffc, 1u) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace caesar

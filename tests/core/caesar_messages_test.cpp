@@ -1,0 +1,166 @@
+// Round-trip tests for every CAESAR wire message (the serialization layer a
+// real deployment would exercise on every packet).
+#include "core/caesar_messages.h"
+
+#include <gtest/gtest.h>
+
+namespace caesar::core {
+namespace {
+
+rsm::Command sample_cmd() {
+  rsm::Command c;
+  c.id = make_cmd_id(3, 99);
+  c.origin = 3;
+  c.ops = {rsm::Op{7, make_req_id(3, 1), 11}, rsm::Op{9, make_req_id(3, 2), 22}};
+  c.finalize();
+  return c;
+}
+
+template <class Msg>
+Msg round_trip(const Msg& in) {
+  net::Encoder e;
+  in.encode(e);
+  const auto buf = e.take();
+  net::Decoder d{std::span<const std::byte>(buf)};
+  Msg out = Msg::decode(d);
+  EXPECT_TRUE(d.at_end()) << "trailing bytes";
+  return out;
+}
+
+TEST(CaesarMessagesTest, FastProposeWithoutWhitelist) {
+  FastProposeMsg m;
+  m.cmd = sample_cmd();
+  m.ballot = make_ballot(2, 1);
+  m.ts = Timestamp{55, 3};
+  m.has_whitelist = false;
+  const FastProposeMsg back = round_trip(m);
+  EXPECT_EQ(back.cmd, m.cmd);
+  EXPECT_EQ(back.ballot, m.ballot);
+  EXPECT_EQ(back.ts, m.ts);
+  EXPECT_FALSE(back.has_whitelist);
+}
+
+TEST(CaesarMessagesTest, FastProposeWhitelistNullVsEmptyDistinct) {
+  // A null whitelist and an empty whitelist have different semantics in
+  // COMPUTEPREDECESSORS (paper Fig 3); the codec must preserve the
+  // distinction.
+  FastProposeMsg null_wl;
+  null_wl.cmd = sample_cmd();
+  null_wl.has_whitelist = false;
+  FastProposeMsg empty_wl;
+  empty_wl.cmd = sample_cmd();
+  empty_wl.has_whitelist = true;
+  EXPECT_FALSE(round_trip(null_wl).has_whitelist);
+  const FastProposeMsg back = round_trip(empty_wl);
+  EXPECT_TRUE(back.has_whitelist);
+  EXPECT_TRUE(back.whitelist.empty());
+}
+
+TEST(CaesarMessagesTest, FastProposeWithWhitelist) {
+  FastProposeMsg m;
+  m.cmd = sample_cmd();
+  m.has_whitelist = true;
+  m.whitelist = IdSet{make_cmd_id(0, 1), make_cmd_id(4, 9)};
+  EXPECT_EQ(round_trip(m).whitelist, m.whitelist);
+}
+
+TEST(CaesarMessagesTest, ProposeReplyOkAndNack) {
+  ProposeReplyMsg ok;
+  ok.cmd = make_cmd_id(1, 5);
+  ok.ballot = 0;
+  ok.ts = Timestamp{10, 1};
+  ok.pred = IdSet{make_cmd_id(0, 1)};
+  ok.ok = true;
+  const ProposeReplyMsg back_ok = round_trip(ok);
+  EXPECT_TRUE(back_ok.ok);
+  EXPECT_EQ(back_ok.pred, ok.pred);
+
+  ProposeReplyMsg nack = ok;
+  nack.ok = false;
+  nack.ts = Timestamp{99, 2};
+  const ProposeReplyMsg back_nack = round_trip(nack);
+  EXPECT_FALSE(back_nack.ok);
+  EXPECT_EQ(back_nack.ts, (Timestamp{99, 2}));
+}
+
+TEST(CaesarMessagesTest, TimestampedCmdMsgCarriesLargePredSets) {
+  TimestampedCmdMsg m;
+  m.cmd = sample_cmd();
+  m.ballot = make_ballot(1, 4);
+  m.ts = Timestamp{1234567, 2};
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    m.pred.insert(make_cmd_id(static_cast<NodeId>(i % 5), i));
+  }
+  const TimestampedCmdMsg back = round_trip(m);
+  EXPECT_EQ(back.pred, m.pred);
+  EXPECT_EQ(back.ts, m.ts);
+}
+
+TEST(CaesarMessagesTest, RetryReplyRoundTrip) {
+  RetryReplyMsg m;
+  m.cmd = make_cmd_id(2, 8);
+  m.ballot = make_ballot(3, 0);
+  m.ts = Timestamp{77, 0};
+  m.pred = IdSet{1, 2, 3};
+  const RetryReplyMsg back = round_trip(m);
+  EXPECT_EQ(back.cmd, m.cmd);
+  EXPECT_EQ(back.pred, m.pred);
+}
+
+TEST(CaesarMessagesTest, RecoveryRoundTrip) {
+  RecoveryMsg m{make_cmd_id(0, 3), make_ballot(7, 2)};
+  const RecoveryMsg back = round_trip(m);
+  EXPECT_EQ(back.cmd, m.cmd);
+  EXPECT_EQ(back.ballot, m.ballot);
+}
+
+TEST(CaesarMessagesTest, RecoveryReplyNop) {
+  RecoveryReplyMsg m;
+  m.cmd = make_cmd_id(0, 3);
+  m.ballot = make_ballot(7, 2);
+  m.has_info = false;
+  const RecoveryReplyMsg back = round_trip(m);
+  EXPECT_FALSE(back.has_info);
+}
+
+TEST(CaesarMessagesTest, RecoveryReplyFullInfo) {
+  RecoveryReplyMsg m;
+  m.cmd = make_cmd_id(0, 3);
+  m.ballot = make_ballot(7, 2);
+  m.has_info = true;
+  m.payload = sample_cmd();
+  m.ts = Timestamp{42, 1};
+  m.pred = IdSet{make_cmd_id(1, 1)};
+  m.status = Status::kFastPending;
+  m.info_ballot = make_ballot(6, 0);
+  m.forced = true;
+  const RecoveryReplyMsg back = round_trip(m);
+  EXPECT_TRUE(back.has_info);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_EQ(back.status, Status::kFastPending);
+  EXPECT_EQ(back.info_ballot, m.info_ballot);
+  EXPECT_TRUE(back.forced);
+}
+
+TEST(CaesarMessagesTest, GossipRoundTrip) {
+  GossipMsg m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.delivered.insert(make_cmd_id(1, i));
+  EXPECT_EQ(round_trip(m).delivered, m.delivered);
+}
+
+TEST(CaesarMessagesTest, TruncatedMessagesThrow) {
+  FastProposeMsg m;
+  m.cmd = sample_cmd();
+  m.ts = Timestamp{5, 0};
+  net::Encoder e;
+  m.encode(e);
+  auto buf = e.take();
+  for (std::size_t cut = 1; cut < buf.size(); cut += 7) {
+    std::vector<std::byte> trunc(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    net::Decoder d{std::span<const std::byte>(trunc)};
+    EXPECT_THROW(FastProposeMsg::decode(d), net::DecodeError) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace caesar::core

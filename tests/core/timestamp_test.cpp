@@ -1,0 +1,69 @@
+#include "core/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace caesar::core {
+namespace {
+
+TEST(TimestampTest, LexicographicOrder) {
+  // Paper §V-A: ⟨k1,i⟩ < ⟨k2,j⟩ iff k1 < k2 or (k1 = k2 and i < j).
+  EXPECT_LT((Timestamp{1, 4}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{2, 0}), (Timestamp{2, 1}));
+  EXPECT_EQ((Timestamp{3, 3}), (Timestamp{3, 3}));
+  EXPECT_GT((Timestamp{4, 0}), (Timestamp{3, 9}));
+}
+
+TEST(TimestampTest, ZeroDetection) {
+  EXPECT_TRUE(Timestamp{}.is_zero());
+  EXPECT_FALSE((Timestamp{0, 1}).is_zero());
+  EXPECT_FALSE((Timestamp{1, 0}).is_zero());
+}
+
+TEST(TimestampTest, EncodeDecodeRoundTrip) {
+  const Timestamp ts{123456789, 4};
+  net::Encoder e;
+  ts.encode(e);
+  const auto buf = e.take();
+  net::Decoder d{std::span<const std::byte>(buf)};
+  EXPECT_EQ(Timestamp::decode(d), ts);
+}
+
+TEST(TimestampClockTest, NextIsStrictlyIncreasing) {
+  TimestampClock clock(2);
+  Timestamp prev = clock.next();
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp cur = clock.next();
+    EXPECT_LT(prev, cur);
+    prev = cur;
+  }
+}
+
+TEST(TimestampClockTest, NextCarriesNodeId) {
+  TimestampClock clock(7);
+  EXPECT_EQ(clock.next().node, 7u);
+}
+
+TEST(TimestampClockTest, ObserveAdvancesPastSeen) {
+  TimestampClock clock(1);
+  clock.observe(Timestamp{100, 3});
+  EXPECT_GT(clock.next(), (Timestamp{100, 3}));
+}
+
+TEST(TimestampClockTest, ObserveOldTimestampIsNoop) {
+  TimestampClock clock(1);
+  clock.observe(Timestamp{50, 0});
+  const Timestamp a = clock.next();  // 51
+  clock.observe(Timestamp{10, 4});
+  const Timestamp b = clock.next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b.t, a.t + 1);  // not reset backwards
+}
+
+TEST(TimestampClockTest, TwoClocksNeverCollide) {
+  // Same counter values differ by node component.
+  TimestampClock a(0), b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace caesar::core

@@ -1,0 +1,57 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace caesar::harness {
+namespace {
+
+TEST(ReportTest, FormatsMilliseconds) {
+  EXPECT_EQ(Table::ms(1500.0), "1.5");
+  EXPECT_EQ(Table::ms(0.0), "0.0");
+  EXPECT_EQ(Table::ms(123456.0), "123.5");
+}
+
+TEST(ReportTest, FormatsPercent) {
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(0.123), "12.3%");
+  EXPECT_EQ(Table::pct(0.0), "0.0%");
+}
+
+TEST(ReportTest, FormatsNumbersWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(42.0, 0), "42");
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Column 2 entries align: find positions of "value" and "22".
+  const std::size_t header_line_end = out.find('\n');
+  const std::size_t col = out.find("value");
+  ASSERT_LT(col, header_line_end);
+  // The "22" in the last row appears at the same column offset.
+  const std::size_t last_row = out.rfind("22");
+  const std::size_t last_line_start = out.rfind('\n', last_row);
+  EXPECT_EQ(last_row - (last_line_start + 1), col - 0);
+}
+
+TEST(ReportTest, TableHandlesShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells print empty
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caesar::harness

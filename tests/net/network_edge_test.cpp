@@ -1,0 +1,95 @@
+// Edge-case tests for the network substrate: jitter bounds, loopback
+// ordering, broadcast sharing, partition asymmetries.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace caesar::net {
+namespace {
+
+std::shared_ptr<const std::vector<std::byte>> payload(std::size_t n) {
+  return std::make_shared<const std::vector<std::byte>>(n, std::byte{0x42});
+}
+
+TEST(NetworkEdgeTest, JitterStaysWithinConfiguredBounds) {
+  sim::Simulator sim(3);
+  Topology topo = Topology::uniform(2, 100 * kMs);  // 50ms one-way
+  topo.jitter_base_us = 1000;
+  topo.jitter_frac = 0.10;
+  Network net(sim, topo);
+  std::vector<Time> arrivals;
+  net.set_sink(1, [&](NodeId, auto) { arrivals.push_back(sim.now()); });
+  Time sent_at = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.at(sent_at, [&net] { net.send(0, 1, payload(8)); });
+    sent_at += 10 * kMs;  // spaced out so FIFO clamping never kicks in
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  Time prev_send = 0;
+  for (Time t : arrivals) {
+    const Time delay = t - prev_send;
+    EXPECT_GE(delay, 50 * kMs);
+    // max = base + additive jitter + 10% multiplicative + wire time
+    EXPECT_LE(delay, 50 * kMs + 1000 + 5 * kMs + 10);
+    prev_send += 10 * kMs;
+  }
+}
+
+TEST(NetworkEdgeTest, LoopbackIsFifoToo) {
+  sim::Simulator sim(4);
+  Network net(sim, Topology::lan(2));
+  std::vector<std::size_t> sizes;
+  net.set_sink(0, [&](NodeId, auto p) { sizes.push_back(p->size()); });
+  for (std::size_t i = 1; i <= 20; ++i) net.send(0, 0, payload(i));
+  sim.run();
+  ASSERT_EQ(sizes.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(sizes[i], i + 1);
+}
+
+TEST(NetworkEdgeTest, BroadcastSharesOnePayloadInstance) {
+  sim::Simulator sim(5);
+  Network net(sim, Topology::lan(4));
+  auto p = payload(64);
+  const void* data_ptr = p->data();
+  std::vector<const void*> seen;
+  for (NodeId i = 1; i < 4; ++i) {
+    net.set_sink(i, [&](NodeId, auto pl) { seen.push_back(pl->data()); });
+  }
+  for (NodeId to = 1; to < 4; ++to) net.send(0, to, p);
+  sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  for (const void* ptr : seen) EXPECT_EQ(ptr, data_ptr);  // zero-copy fan-out
+}
+
+TEST(NetworkEdgeTest, OneWayPartitionPossibleViaDirectionalReset) {
+  // set_link_up cuts both directions; verify both are restored too.
+  sim::Simulator sim(6);
+  Network net(sim, Topology::lan(2));
+  int received0 = 0, received1 = 0;
+  net.set_sink(0, [&](NodeId, auto) { ++received0; });
+  net.set_sink(1, [&](NodeId, auto) { ++received1; });
+  net.set_link_up(0, 1, false);
+  EXPECT_FALSE(net.link_up(0, 1));
+  EXPECT_FALSE(net.link_up(1, 0));
+  net.set_link_up(0, 1, true);
+  net.send(0, 1, payload(4));
+  net.send(1, 0, payload(4));
+  sim.run();
+  EXPECT_EQ(received0, 1);
+  EXPECT_EQ(received1, 1);
+}
+
+TEST(NetworkEdgeTest, CrashedSenderDoesNotCountDeliveries) {
+  sim::Simulator sim(7);
+  Network net(sim, Topology::lan(3));
+  net.set_sink(1, [](NodeId, auto) { FAIL() << "delivered from crashed node"; });
+  net.crash_node(0);
+  net.send(0, 1, payload(4));
+  sim.run();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace caesar::net

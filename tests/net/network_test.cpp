@@ -1,0 +1,125 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/serialization.h"
+
+namespace caesar::net {
+namespace {
+
+std::shared_ptr<const std::vector<std::byte>> payload_of_size(std::size_t n) {
+  return std::make_shared<const std::vector<std::byte>>(n, std::byte{0x5A});
+}
+
+struct Delivery {
+  NodeId from;
+  Time at;
+  std::size_t size;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(99), net_(sim_, Topology::uniform(3, 20 * kMs)) {
+    for (NodeId i = 0; i < 3; ++i) {
+      net_.set_sink(i, [this, i](NodeId from, auto payload) {
+        inbox_[i].push_back(Delivery{from, sim_.now(), payload->size()});
+      });
+    }
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  std::vector<Delivery> inbox_[3];
+};
+
+TEST_F(NetworkTest, DeliversWithPropagationDelay) {
+  net_.send(0, 1, payload_of_size(10));
+  sim_.run();
+  ASSERT_EQ(inbox_[1].size(), 1u);
+  EXPECT_EQ(inbox_[1][0].from, 0u);
+  // one-way base is 10ms; jitter adds a bounded amount.
+  EXPECT_GE(inbox_[1][0].at, 10 * kMs);
+  EXPECT_LT(inbox_[1][0].at, 12 * kMs);
+}
+
+TEST_F(NetworkTest, LoopbackIsFast) {
+  net_.send(2, 2, payload_of_size(10));
+  sim_.run();
+  ASSERT_EQ(inbox_[2].size(), 1u);
+  EXPECT_LE(inbox_[2][0].at, 1 * kMs);
+}
+
+TEST_F(NetworkTest, PerLinkFifoOrdering) {
+  // 50 back-to-back messages on the same link must arrive in send order
+  // despite jitter.
+  for (std::size_t i = 1; i <= 50; ++i) net_.send(0, 1, payload_of_size(i));
+  sim_.run();
+  ASSERT_EQ(inbox_[1].size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(inbox_[1][i].size, i + 1);
+    if (i > 0) {
+      EXPECT_GT(inbox_[1][i].at, inbox_[1][i - 1].at);
+    }
+  }
+}
+
+TEST_F(NetworkTest, CrashedNodeNeitherSendsNorReceives) {
+  net_.crash_node(1);
+  net_.send(0, 1, payload_of_size(4));
+  net_.send(1, 2, payload_of_size(4));
+  sim_.run();
+  EXPECT_TRUE(inbox_[1].empty());
+  EXPECT_TRUE(inbox_[2].empty());
+  EXPECT_EQ(net_.messages_dropped(), 2u);
+}
+
+TEST_F(NetworkTest, InFlightMessagesToCrashedNodeDropped) {
+  net_.send(0, 1, payload_of_size(4));  // in flight
+  net_.crash_node(1);                   // crashes before arrival
+  sim_.run();
+  EXPECT_TRUE(inbox_[1].empty());
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  net_.set_link_up(0, 1, false);
+  net_.send(0, 1, payload_of_size(4));
+  net_.send(1, 0, payload_of_size(4));
+  net_.send(0, 2, payload_of_size(4));  // unaffected
+  sim_.run();
+  EXPECT_TRUE(inbox_[1].empty());
+  EXPECT_TRUE(inbox_[0].empty());
+  EXPECT_EQ(inbox_[2].size(), 1u);
+
+  net_.set_link_up(0, 1, true);
+  net_.send(0, 1, payload_of_size(4));
+  sim_.run();
+  EXPECT_EQ(inbox_[1].size(), 1u);
+}
+
+TEST_F(NetworkTest, LargerPayloadsTakeLonger) {
+  sim::Simulator sim(1);
+  Topology topo = Topology::uniform(2, 20 * kMs);
+  topo.jitter_base_us = 0;
+  topo.jitter_frac = 0.0;
+  Network net(sim, topo);
+  std::vector<Time> arrivals;
+  net.set_sink(1, [&](NodeId, auto) { arrivals.push_back(sim.now()); });
+  net.send(0, 1, payload_of_size(100));
+  sim.run();
+  const Time small = arrivals[0];
+  net.send(0, 1, payload_of_size(1'000'000));
+  sim.run();
+  const Time big = arrivals[1] - small;
+  EXPECT_GT(big, 10 * kMs + 7000);  // 1MB at 125 B/us ≈ 8000us extra
+}
+
+TEST_F(NetworkTest, CountsBytesAndMessages) {
+  net_.send(0, 1, payload_of_size(100));
+  net_.send(0, 2, payload_of_size(100));
+  sim_.run();
+  EXPECT_EQ(net_.messages_delivered(), 2u);
+  EXPECT_GE(net_.bytes_sent(), 200u);
+}
+
+}  // namespace
+}  // namespace caesar::net

@@ -1,0 +1,220 @@
+#include "net/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace caesar::net {
+namespace {
+
+std::span<const std::byte> as_span(const std::vector<std::byte>& v) {
+  return std::span<const std::byte>(v);
+}
+
+TEST(SerializationTest, FixedWidthRoundTrip) {
+  Encoder e;
+  e.put_u8(0xAB);
+  e.put_u16(0xBEEF);
+  e.put_u32(0xDEADBEEF);
+  e.put_u64(0x0123456789ABCDEFull);
+  e.put_i64(-42);
+  e.put_bool(true);
+  e.put_bool(false);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_EQ(d.get_u8(), 0xAB);
+  EXPECT_EQ(d.get_u16(), 0xBEEF);
+  EXPECT_EQ(d.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(d.get_i64(), -42);
+  EXPECT_TRUE(d.get_bool());
+  EXPECT_FALSE(d.get_bool());
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(SerializationTest, VarintBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Encoder e;
+  for (auto v : values) e.put_varint(v);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  for (auto v : values) EXPECT_EQ(d.get_varint(), v);
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(SerializationTest, VarintIsCompactForSmallValues) {
+  Encoder e;
+  e.put_varint(100);
+  EXPECT_EQ(e.size(), 1u);
+  Encoder e2;
+  e2.put_varint(300);
+  EXPECT_EQ(e2.size(), 2u);
+}
+
+TEST(SerializationTest, StringRoundTrip) {
+  Encoder e;
+  e.put_string("");
+  e.put_string("hello consensus");
+  std::string binary("\x00\x01\x02", 3);
+  e.put_string(binary);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_EQ(d.get_string(), "");
+  EXPECT_EQ(d.get_string(), "hello consensus");
+  EXPECT_EQ(d.get_string(), binary);
+}
+
+TEST(SerializationTest, IdSetRoundTrip) {
+  IdSet s{5, 1, 100000, 99999, 42};
+  Encoder e;
+  e.put_id_set(s);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_EQ(d.get_id_set(), s);
+}
+
+TEST(SerializationTest, EmptyIdSetRoundTrip) {
+  Encoder e;
+  e.put_id_set(IdSet{});
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_TRUE(d.get_id_set().empty());
+}
+
+TEST(SerializationTest, IdSetDeltaEncodingIsCompact) {
+  // 100 consecutive ids should cost ~1 byte each after the first.
+  IdSet s;
+  for (std::uint64_t i = 1'000'000; i < 1'000'100; ++i) s.insert(i);
+  Encoder e;
+  e.put_id_set(s);
+  EXPECT_LT(e.size(), 110u);
+}
+
+TEST(SerializationTest, U64VectorRoundTrip) {
+  std::vector<std::uint64_t> v{3, 1, 4, 1, 5, 9, 2, 6};
+  Encoder e;
+  e.put_u64_vector(v);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_EQ(d.get_u64_vector(), v);
+}
+
+TEST(SerializationTest, UnderrunThrows) {
+  Encoder e;
+  e.put_u16(7);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  d.get_u16();
+  EXPECT_THROW(d.get_u8(), DecodeError);
+}
+
+TEST(SerializationTest, TruncatedFixedThrows) {
+  Encoder e;
+  e.put_u64(12345);
+  auto buf = e.take();
+  buf.resize(4);
+  Decoder d(as_span(buf));
+  EXPECT_THROW(d.get_u64(), DecodeError);
+}
+
+TEST(SerializationTest, HostileLengthRejectedBeforeAllocation) {
+  // A length prefix far larger than the buffer must throw, not allocate.
+  Encoder e;
+  e.put_varint(std::numeric_limits<std::uint64_t>::max() / 2);
+  const auto buf = e.take();
+  Decoder d(as_span(buf));
+  EXPECT_THROW(d.get_bytes(), DecodeError);
+}
+
+TEST(SerializationTest, MalformedVarintThrows) {
+  std::vector<std::byte> buf(11, std::byte{0xFF});  // never terminates
+  Decoder d(as_span(buf));
+  EXPECT_THROW(d.get_varint(), DecodeError);
+}
+
+TEST(SerializationTest, RandomizedMixedRoundTrip) {
+  std::mt19937_64 rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    // Build a random schema: 0=u8 1=u32 2=u64 3=varint 4=string 5=idset.
+    std::vector<int> schema;
+    std::vector<std::uint64_t> ints;
+    std::vector<std::string> strs;
+    std::vector<IdSet> sets;
+    Encoder e;
+    for (int i = 0; i < 40; ++i) {
+      const int kind = static_cast<int>(rng() % 6);
+      schema.push_back(kind);
+      switch (kind) {
+        case 0:
+          ints.push_back(rng() & 0xFF);
+          e.put_u8(static_cast<std::uint8_t>(ints.back()));
+          break;
+        case 1:
+          ints.push_back(rng() & 0xFFFFFFFF);
+          e.put_u32(static_cast<std::uint32_t>(ints.back()));
+          break;
+        case 2:
+          ints.push_back(rng());
+          e.put_u64(ints.back());
+          break;
+        case 3:
+          ints.push_back(rng() >> (rng() % 60));
+          e.put_varint(ints.back());
+          break;
+        case 4: {
+          std::string s(rng() % 20, 'x');
+          for (auto& ch : s) ch = static_cast<char>('a' + rng() % 26);
+          strs.push_back(s);
+          e.put_string(s);
+          break;
+        }
+        case 5: {
+          IdSet s;
+          const int n = static_cast<int>(rng() % 10);
+          for (int k = 0; k < n; ++k) s.insert(rng() % 1000);
+          sets.push_back(s);
+          e.put_id_set(s);
+          break;
+        }
+      }
+    }
+    const auto buf = e.take();
+    Decoder d(as_span(buf));
+    std::size_t ii = 0, si = 0, seti = 0;
+    for (int kind : schema) {
+      switch (kind) {
+        case 0:
+          EXPECT_EQ(d.get_u8(), ints[ii++]);
+          break;
+        case 1:
+          EXPECT_EQ(d.get_u32(), ints[ii++]);
+          break;
+        case 2:
+          EXPECT_EQ(d.get_u64(), ints[ii++]);
+          break;
+        case 3:
+          EXPECT_EQ(d.get_varint(), ints[ii++]);
+          break;
+        case 4:
+          EXPECT_EQ(d.get_string(), strs[si++]);
+          break;
+        case 5:
+          EXPECT_EQ(d.get_id_set(), sets[seti++]);
+          break;
+      }
+    }
+    EXPECT_TRUE(d.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace caesar::net

@@ -1,0 +1,58 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace caesar::net {
+namespace {
+
+TEST(TopologyTest, Ec2PresetHasFiveNamedSites) {
+  const Topology t = Topology::ec2_five_sites();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.site_names[0], "Virginia");
+  EXPECT_EQ(t.site_names[4], "Mumbai");
+}
+
+TEST(TopologyTest, Ec2PresetMatchesPaperRtts) {
+  const Topology t = Topology::ec2_five_sites();
+  // §VI: Mumbai RTTs are 186ms/VA, 301ms/OH, 112ms/DE, 122ms/IR.
+  EXPECT_EQ(t.one_way_us[4][0] + t.one_way_us[0][4], 186 * kMs);
+  EXPECT_EQ(t.one_way_us[4][1] + t.one_way_us[1][4], 301 * kMs);
+  EXPECT_EQ(t.one_way_us[4][2] + t.one_way_us[2][4], 112 * kMs);
+  EXPECT_EQ(t.one_way_us[4][3] + t.one_way_us[3][4], 122 * kMs);
+}
+
+TEST(TopologyTest, Ec2EuUsPairsBelow100msRtt) {
+  const Topology t = Topology::ec2_five_sites();
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_LT(t.one_way_us[i][j] + t.one_way_us[j][i], 100 * kMs)
+          << t.site_names[i] << "<->" << t.site_names[j];
+    }
+  }
+}
+
+TEST(TopologyTest, MatrixIsSymmetricWithZeroDiagonal) {
+  const Topology t = Topology::ec2_five_sites();
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.one_way_us[i][i], 0);
+    for (NodeId j = 0; j < t.size(); ++j) {
+      EXPECT_EQ(t.one_way_us[i][j], t.one_way_us[j][i]);
+    }
+  }
+}
+
+TEST(TopologyTest, UniformTopologyHalvesRtt) {
+  const Topology t = Topology::uniform(4, 10 * kMs);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.one_way_us[0][3], 5 * kMs);
+  EXPECT_EQ(t.one_way_us[2][2], 0);
+}
+
+TEST(TopologyTest, LanIsFast) {
+  const Topology t = Topology::lan(3);
+  EXPECT_LE(t.one_way_us[0][1], 1 * kMs);
+}
+
+}  // namespace
+}  // namespace caesar::net

@@ -1,0 +1,53 @@
+#include "rsm/kvstore.h"
+
+#include <gtest/gtest.h>
+
+namespace caesar::rsm {
+namespace {
+
+TEST(KvStoreTest, GetMissingReturnsNullopt) {
+  KvStore kv;
+  EXPECT_FALSE(kv.get(1).has_value());
+}
+
+TEST(KvStoreTest, ApplyWritesValue) {
+  KvStore kv;
+  Command c;
+  c.id = make_cmd_id(0, 1);
+  c.ops = {Op{10, 1, 99}};
+  kv.apply(c);
+  const auto e = kv.get(10);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->value, 99u);
+  EXPECT_EQ(e->version, 1u);
+}
+
+TEST(KvStoreTest, VersionsCountWritesPerKey) {
+  KvStore kv;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Command c;
+    c.id = make_cmd_id(0, i);
+    c.ops = {Op{7, i, i * 10}};
+    kv.apply(c);
+  }
+  const auto e = kv.get(7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->version, 5u);
+  EXPECT_EQ(e->value, 50u);  // last writer wins
+}
+
+TEST(KvStoreTest, CompositeCommandAppliesAllOps) {
+  KvStore kv;
+  Command c;
+  c.id = make_cmd_id(0, 1);
+  c.ops = {Op{1, 1, 11}, Op{2, 2, 22}, Op{3, 3, 33}};
+  kv.apply(c);
+  EXPECT_EQ(kv.get(1)->value, 11u);
+  EXPECT_EQ(kv.get(2)->value, 22u);
+  EXPECT_EQ(kv.get(3)->value, 33u);
+  EXPECT_EQ(kv.applied_commands(), 1u);
+  EXPECT_EQ(kv.key_count(), 3u);
+}
+
+}  // namespace
+}  // namespace caesar::rsm

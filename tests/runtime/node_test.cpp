@@ -1,0 +1,221 @@
+#include "runtime/node.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+
+namespace caesar::rt {
+namespace {
+
+/// Test protocol: echoes every proposal to all peers; peers deliver on
+/// receipt; also exposes hooks for timer and CPU-charging tests.
+class EchoProtocol final : public Protocol {
+ public:
+  EchoProtocol(Env& env, DeliverFn deliver, Time charge = 0)
+      : Protocol(env, std::move(deliver)), charge_(charge) {}
+
+  void propose(rsm::Command cmd) override {
+    proposed.push_back(cmd);
+    net::Encoder e;
+    cmd.encode(e);
+    env_.broadcast(1, std::move(e), /*include_self=*/true);
+  }
+
+  void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override {
+    ASSERT_EQ(type, 1);
+    last_from = from;
+    if (charge_ > 0) env_.charge_cpu(charge_);
+    deliver_(rsm::Command::decode(d));
+  }
+
+  std::string_view name() const override { return "Echo"; }
+
+  std::vector<rsm::Command> proposed;
+  NodeId last_from = kNoNode;
+
+ private:
+  Time charge_;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, NodeConfig node_cfg = {}, Time charge = 0)
+      : sim(7) {
+    ClusterConfig cfg;
+    cfg.node = node_cfg;
+    cluster = std::make_unique<Cluster>(
+        sim, net::Topology::lan(n), cfg,
+        [&, charge](Env& env, Protocol::DeliverFn deliver) {
+          return std::make_unique<EchoProtocol>(env, std::move(deliver), charge);
+        },
+        [this](NodeId node, const rsm::Command& cmd) {
+          delivered[node].push_back(cmd);
+        });
+  }
+
+  rsm::Command one_op_cmd(Key k) {
+    rsm::Command c;
+    c.ops.push_back(rsm::Op{k, 1, 0});
+    return c;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Cluster> cluster;
+  std::map<NodeId, std::vector<rsm::Command>> delivered;
+};
+
+TEST(NodeTest, SubmitAssignsIdAndOrigin) {
+  Fixture f(3);
+  f.cluster->node(1).submit(f.one_op_cmd(5));
+  f.sim.run();
+  auto& echo = static_cast<EchoProtocol&>(f.cluster->node(1).protocol());
+  ASSERT_EQ(echo.proposed.size(), 1u);
+  EXPECT_EQ(echo.proposed[0].origin, 1u);
+  EXPECT_EQ(cmd_origin(echo.proposed[0].id), 1u);
+  EXPECT_NE(echo.proposed[0].id, kNoCmd);
+}
+
+TEST(NodeTest, BroadcastReachesAllIncludingSelf) {
+  Fixture f(3);
+  f.cluster->node(0).submit(f.one_op_cmd(5));
+  f.sim.run();
+  for (NodeId i = 0; i < 3; ++i) {
+    ASSERT_EQ(f.delivered[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(f.delivered[i][0].ops[0].key, 5u);
+  }
+}
+
+TEST(NodeTest, FreshCmdIdsAreUnique) {
+  Fixture f(2);
+  for (int i = 0; i < 10; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
+  f.sim.run();
+  auto& echo = static_cast<EchoProtocol&>(f.cluster->node(0).protocol());
+  std::set<CmdId> ids;
+  for (const auto& c : echo.proposed) ids.insert(c.id);
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(NodeTest, CrashedNodeStopsProcessing) {
+  Fixture f(3);
+  f.cluster->node(0).crash();
+  f.cluster->node(0).submit(f.one_op_cmd(5));
+  f.cluster->node(1).submit(f.one_op_cmd(6));
+  f.sim.run();
+  EXPECT_TRUE(f.delivered[0].empty());       // crashed node delivers nothing
+  EXPECT_EQ(f.delivered[1].size(), 1u);      // live nodes still talk
+  EXPECT_EQ(f.delivered[2].size(), 1u);
+}
+
+TEST(NodeTest, FailureDetectorFiresAfterTimeout) {
+  sim::Simulator sim(7);
+  ClusterConfig cfg;
+  cfg.fd_timeout_us = 100 * kMs;
+  std::vector<std::pair<NodeId, NodeId>> suspicions;  // (observer, suspect)
+
+  class FdProtocol final : public Protocol {
+   public:
+    FdProtocol(Env& env, DeliverFn d,
+               std::vector<std::pair<NodeId, NodeId>>* out)
+        : Protocol(env, std::move(d)), out_(out) {}
+    void propose(rsm::Command) override {}
+    void on_message(NodeId, std::uint16_t, net::Decoder&) override {}
+    void on_node_suspected(NodeId peer) override {
+      out_->emplace_back(env_.id(), peer);
+    }
+    std::string_view name() const override { return "Fd"; }
+
+   private:
+    std::vector<std::pair<NodeId, NodeId>>* out_;
+  };
+
+  Cluster cluster(
+      sim, net::Topology::lan(3), cfg,
+      [&](Env& env, Protocol::DeliverFn d) {
+        return std::make_unique<FdProtocol>(env, std::move(d), &suspicions);
+      },
+      nullptr);
+  sim.at(1 * kMs, [&] { cluster.crash(2); });
+  sim.run_until(50 * kMs);
+  EXPECT_TRUE(suspicions.empty());  // before the FD timeout
+  sim.run_until(200 * kMs);
+  ASSERT_EQ(suspicions.size(), 2u);  // nodes 0 and 1 each suspect node 2
+  for (auto& [observer, suspect] : suspicions) {
+    EXPECT_NE(observer, 2u);
+    EXPECT_EQ(suspect, 2u);
+  }
+}
+
+TEST(NodeTest, CpuSerializationDelaysBackToBackWork) {
+  NodeConfig ncfg;
+  ncfg.base_service_us = 1000;  // exaggerated service time
+  Fixture f(2, ncfg);
+  // Node 1 receives 10 messages nearly simultaneously; service times must
+  // serialize them ~1000us apart.
+  for (int i = 0; i < 10; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
+  f.sim.run();
+  ASSERT_EQ(f.delivered[1].size(), 10u);
+  EXPECT_GE(f.cluster->node(1).cpu_busy_time(), 10 * 1000);
+}
+
+TEST(NodeTest, ChargeCpuExtendsServiceTime) {
+  Fixture plain(2, NodeConfig{}, /*charge=*/0);
+  Fixture charged(2, NodeConfig{}, /*charge=*/5000);
+  for (int i = 0; i < 5; ++i) {
+    plain.cluster->node(0).submit(plain.one_op_cmd(1));
+    charged.cluster->node(0).submit(charged.one_op_cmd(1));
+  }
+  plain.sim.run();
+  charged.sim.run();
+  EXPECT_GT(charged.cluster->node(1).cpu_busy_time(),
+            plain.cluster->node(1).cpu_busy_time() + 4 * 5000);
+}
+
+TEST(NodeTest, BatchingCoalescesSubmissions) {
+  NodeConfig ncfg;
+  ncfg.batching = true;
+  ncfg.batch_delay_us = 5000;
+  ncfg.batch_max_ops = 100;
+  Fixture f(2, ncfg);
+  for (int i = 0; i < 10; ++i)
+    f.cluster->node(0).submit(f.one_op_cmd(static_cast<Key>(i)));
+  f.sim.run();
+  auto& echo = static_cast<EchoProtocol&>(f.cluster->node(0).protocol());
+  ASSERT_EQ(echo.proposed.size(), 1u);  // one composite
+  EXPECT_EQ(echo.proposed[0].ops.size(), 10u);
+  ASSERT_EQ(f.delivered[1].size(), 1u);
+  EXPECT_EQ(f.delivered[1][0].ops.size(), 10u);
+}
+
+TEST(NodeTest, BatchFlushesEarlyWhenFull) {
+  NodeConfig ncfg;
+  ncfg.batching = true;
+  ncfg.batch_delay_us = 1 * kSec;  // long window
+  ncfg.batch_max_ops = 4;
+  Fixture f(2, ncfg);
+  for (int i = 0; i < 4; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
+  f.sim.run_until(100 * kMs);  // well before the window closes
+  auto& echo = static_cast<EchoProtocol&>(f.cluster->node(0).protocol());
+  ASSERT_EQ(echo.proposed.size(), 1u);
+  EXPECT_EQ(echo.proposed[0].ops.size(), 4u);
+}
+
+TEST(NodeTest, TimerCancellation) {
+  Fixture f(2);
+  bool fired = false;
+  auto& node = f.cluster->node(0);
+  const sim::EventId id = node.set_timer(10 * kMs, [&] { fired = true; });
+  node.cancel_timer(id);
+  f.sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(NodeTest, TimersDoNotFireAfterCrash) {
+  Fixture f(2);
+  bool fired = false;
+  f.cluster->node(0).set_timer(10 * kMs, [&] { fired = true; });
+  f.sim.at(1 * kMs, [&] { f.cluster->node(0).crash(); });
+  f.sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace caesar::rt

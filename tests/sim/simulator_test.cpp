@@ -1,0 +1,130 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace caesar::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(5, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.at(100, [&] {
+    sim.after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.at(100, [&] {
+    sim.at(10, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId later = sim.at(20, [&] { ran = true; });
+  sim.at(10, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<Time> fired;
+  sim.at(10, [&] { fired.push_back(10); });
+  sim.at(20, [&] { fired.push_back(20); });
+  sim.at(30, [&] { fired.push_back(30); });
+  sim.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) sim.after(1, tick);
+  };
+  sim.after(1, tick);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1, [&] { ++count; });
+  sim.at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 5; ++i) {
+      sim.after(static_cast<Time>(sim.rng().uniform_int(100) + 1),
+                [&] { draws.push_back(sim.rng().next_u64()); });
+    }
+    sim.run();
+    return draws;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(SimulatorTest, PendingEventCountExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.at(1, [] {});
+  sim.at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace caesar::sim

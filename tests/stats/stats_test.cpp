@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "stats/latency_stats.h"
+#include "stats/protocol_stats.h"
+#include "stats/time_series.h"
+
+namespace caesar::stats {
+namespace {
+
+TEST(LatencyStatsTest, EmptyIsZeroEverything) {
+  LatencyStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+}
+
+TEST(LatencyStatsTest, MeanMinMax) {
+  LatencyStats s;
+  for (Time v : {10, 20, 30, 40}) s.record(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+  EXPECT_EQ(s.min(), 10);
+  EXPECT_EQ(s.max(), 40);
+}
+
+TEST(LatencyStatsTest, PercentilesAreExact) {
+  LatencyStats s;
+  for (Time v = 1; v <= 100; ++v) s.record(v);
+  EXPECT_EQ(s.percentile(0), 1);
+  EXPECT_EQ(s.percentile(50), 50);
+  EXPECT_EQ(s.percentile(99), 99);
+  EXPECT_EQ(s.percentile(100), 100);
+}
+
+TEST(LatencyStatsTest, MergeCombinesSamples) {
+  LatencyStats a, b;
+  a.record(10);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(TimeSeriesTest, BucketsByWidth) {
+  TimeSeries ts(1000);
+  ts.record(0);
+  ts.record(999);
+  ts.record(1000);
+  ts.record(2500);
+  EXPECT_EQ(ts.bucket_count(), 3u);
+  EXPECT_DOUBLE_EQ(ts.value_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(9), 0.0);  // out of range reads as zero
+}
+
+TEST(TimeSeriesTest, RateNormalizesToPerSecond) {
+  TimeSeries ts(500 * kMs);
+  for (int i = 0; i < 10; ++i) ts.record(100 * kMs);
+  EXPECT_DOUBLE_EQ(ts.rate_at(0), 20.0);  // 10 events / 0.5s
+}
+
+TEST(TimeSeriesTest, NegativeTimesIgnored) {
+  TimeSeries ts(1000);
+  ts.record(-5);
+  EXPECT_EQ(ts.bucket_count(), 0u);
+}
+
+TEST(ProtocolStatsTest, SlowPathFraction) {
+  ProtocolStats s;
+  EXPECT_DOUBLE_EQ(s.slow_path_fraction(), 0.0);
+  s.fast_decisions = 70;
+  s.slow_decisions = 30;
+  EXPECT_DOUBLE_EQ(s.slow_path_fraction(), 0.3);
+}
+
+}  // namespace
+}  // namespace caesar::stats

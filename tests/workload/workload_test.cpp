@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "multipaxos/multipaxos.h"
+#include "workload/client_pool.h"
+#include "workload/key_chooser.h"
+
+namespace caesar::wl {
+namespace {
+
+TEST(KeyChooserTest, ZeroConflictNeverTouchesSharedPool) {
+  Rng rng(1);
+  KeyChooser chooser(0.0, 100, /*client=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(chooser.next(rng), 1ull << 40);  // private range
+  }
+}
+
+TEST(KeyChooserTest, FullConflictAlwaysSharedPool) {
+  Rng rng(1);
+  KeyChooser chooser(1.0, 100, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(chooser.next(rng), 100u);
+  }
+}
+
+TEST(KeyChooserTest, ConflictFractionIsRespected) {
+  Rng rng(99);
+  KeyChooser chooser(0.3, 100, 7);
+  int shared = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (chooser.next(rng) < 100) ++shared;
+  }
+  const double fraction = static_cast<double>(shared) / total;
+  EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(KeyChooserTest, DistinctClientsHaveDisjointPrivateKeys) {
+  Rng rng(1);
+  KeyChooser a(0.0, 100, 1);
+  KeyChooser b(0.0, 100, 2);
+  std::set<Key> ka, kb;
+  for (int i = 0; i < 64; ++i) {
+    ka.insert(a.next(rng));
+    kb.insert(b.next(rng));
+  }
+  for (Key k : ka) EXPECT_EQ(kb.count(k), 0u);
+}
+
+struct PoolFixture {
+  explicit PoolFixture(WorkloadConfig wcfg, std::uint64_t seed = 5)
+      : sim(seed) {
+    rt::ClusterConfig ccfg;
+    cluster = std::make_unique<rt::Cluster>(
+        sim, net::Topology::lan(3), ccfg,
+        [&](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+          return std::make_unique<mpaxos::MultiPaxos>(
+              env, std::move(deliver), mpaxos::MultiPaxosConfig{0}, nullptr);
+        },
+        [this](NodeId node, const rsm::Command& cmd) {
+          if (pool) pool->on_delivery(node, cmd);
+        });
+    pool = std::make_unique<ClientPool>(sim, *cluster, wcfg, sim.rng().fork());
+    cluster->start();
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<rt::Cluster> cluster;
+  std::unique_ptr<ClientPool> pool;
+};
+
+TEST(ClientPoolTest, ClosedLoopKeepsOneRequestInFlightPerClient) {
+  WorkloadConfig wcfg;
+  wcfg.clients_per_site = 2;  // 6 clients total
+  PoolFixture f(wcfg);
+  f.pool->start();
+  f.sim.run_until(200 * kMs);
+  // Every completion triggers the next submission: submitted is at most
+  // completed + one in-flight per client.
+  EXPECT_GT(f.pool->completed(), 0u);
+  EXPECT_LE(f.pool->submitted(), f.pool->completed() + 6);
+  EXPECT_GE(f.pool->submitted(), f.pool->completed());
+}
+
+TEST(ClientPoolTest, CompletionHookSeesMonotoneTimes) {
+  WorkloadConfig wcfg;
+  wcfg.clients_per_site = 1;
+  PoolFixture f(wcfg);
+  Time last_complete = -1;
+  bool monotone_per_client = true;
+  f.pool->set_completion_hook([&](const Completion& c) {
+    EXPECT_LE(c.submit_time, c.complete_time);
+    if (c.complete_time < last_complete) monotone_per_client = false;
+    last_complete = c.complete_time;
+  });
+  f.pool->start();
+  f.sim.run_until(100 * kMs);
+  EXPECT_GT(f.pool->completed(), 0u);
+}
+
+TEST(ClientPoolTest, ThinkTimeSlowsClients) {
+  WorkloadConfig fast_cfg;
+  fast_cfg.clients_per_site = 2;
+  WorkloadConfig slow_cfg = fast_cfg;
+  slow_cfg.think_us = 20 * kMs;
+  PoolFixture fast(fast_cfg), slow(slow_cfg);
+  fast.pool->start();
+  slow.pool->start();
+  fast.sim.run_until(500 * kMs);
+  slow.sim.run_until(500 * kMs);
+  EXPECT_GT(fast.pool->completed(), 2 * slow.pool->completed());
+}
+
+TEST(ClientPoolTest, CrashedSiteClientsReconnectElsewhere) {
+  WorkloadConfig wcfg;
+  wcfg.clients_per_site = 2;
+  wcfg.reconnect_delay_us = 50 * kMs;
+  PoolFixture f(wcfg);
+  f.pool->start();
+  f.sim.run_until(100 * kMs);
+  const std::uint64_t before = f.pool->completed();
+  // Crash a non-leader site (leader is node 0).
+  f.cluster->crash(2);
+  f.pool->on_node_crashed(2);
+  f.sim.run_until(600 * kMs);
+  // All six clients keep completing (the two from node 2 now via others).
+  EXPECT_GT(f.pool->completed(), before + 50);
+}
+
+}  // namespace
+}  // namespace caesar::wl
