@@ -9,29 +9,31 @@
 //      pays at 0% conflicts (paper: ~18% vs EPaxos).
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(double conflict, bool wait_enabled, std::size_t fq) {
-  ExperimentConfig cfg;
-  cfg.protocol = ProtocolKind::kCaesar;
-  cfg.workload.clients_per_site = 10;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.caesar.wait_enabled = wait_enabled;
-  cfg.caesar.fast_quorum_override = fq;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  cfg.duration = 10 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.seed = 13;
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.wait_enabled = wait_enabled;
+  caesar.fast_quorum_override = fq;
+  caesar.gossip_interval_us = 200 * kMs;
+  return harness::run_scenario(ScenarioBuilder("ablation-wait")
+                                   .protocol(ProtocolKind::kCaesar)
+                                   .clients_per_site(10)
+                                   .conflicts(conflict)
+                                   .caesar(caesar)
+                                   .duration(10 * kSec)
+                                   .warmup(2 * kSec)
+                                   .seed(13)
+                                   .build());
 }
 
 }  // namespace

@@ -6,27 +6,29 @@
 // timestamps beat both "wait for everyone" designs in geo deployments.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, double conflict) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = 10;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.duration = 10 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.seed = 14;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 200 * kMs;
+  return harness::run_scenario(ScenarioBuilder("ext-timestamp")
+                                   .protocol(kind)
+                                   .clients_per_site(10)
+                                   .conflicts(conflict)
+                                   .caesar(caesar)
+                                   .duration(10 * kSec)
+                                   .warmup(2 * kSec)
+                                   .seed(14)
+                                   .build());
 }
 
 }  // namespace

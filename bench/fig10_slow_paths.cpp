@@ -7,29 +7,31 @@
 // timestamps.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, double conflict) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 200 * kMs;
   // The paper measures slow paths under its throughput workload: enough
   // in-flight commands that conflicting proposals actually overlap in time.
-  cfg.workload.clients_per_site = 100;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.duration = 12 * kSec;
-  cfg.warmup = 3 * kSec;
-  cfg.seed = 10;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  return harness::run_experiment(cfg);
+  return harness::run_scenario(ScenarioBuilder("fig10")
+                                   .protocol(kind)
+                                   .clients_per_site(100)
+                                   .conflicts(conflict)
+                                   .caesar(caesar)
+                                   .duration(12 * kSec)
+                                   .warmup(3 * kSec)
+                                   .seed(10)
+                                   .build());
 }
 
 }  // namespace

@@ -6,27 +6,29 @@
 //       proposals lag the fast-advancing close-together sites.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(double conflict) {
-  ExperimentConfig cfg;
-  cfg.protocol = ProtocolKind::kCaesar;
-  cfg.workload.clients_per_site = 50;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.duration = 10 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.seed = 11;
-  cfg.caesar.gossip_interval_us = 100 * kMs;
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 100 * kMs;
+  return harness::run_scenario(ScenarioBuilder("fig11")
+                                   .protocol(ProtocolKind::kCaesar)
+                                   .clients_per_site(50)
+                                   .conflicts(conflict)
+                                   .caesar(caesar)
+                                   .duration(10 * kSec)
+                                   .warmup(2 * kSec)
+                                   .seed(11)
+                                   .build());
 }
 
 /// Wait-time per site requires per-node stats; re-run and read per_node.

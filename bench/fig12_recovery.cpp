@@ -7,34 +7,24 @@
 // system-wide unavailability.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::Scenario;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = 500;
-  cfg.workload.conflict_fraction = 0.02;
-  cfg.workload.reconnect_delay_us = 2 * kSec;
-  cfg.node.base_service_us = 12;
-  cfg.duration = 40 * kSec;
-  cfg.warmup = 0;
-  cfg.seed = 12;
-  cfg.crash_node = 2;         // Frankfurt
-  cfg.crash_at = 20 * kSec;   // as in the paper
-  cfg.fd_timeout_us = 1 * kSec;
-  cfg.caesar.gossip_interval_us = 100 * kMs;
-  cfg.check_consistency = false;
-  cfg.timeline_bucket = 1 * kSec;
-  return harness::run_experiment(cfg);
+  // The crash schedule, client counts and timeline bucketing live in the
+  // shared "fig12-failover" registry entry; this bench only varies the
+  // protocol under test.
+  Scenario s = harness::make_scenario("fig12-failover");
+  s.protocol = kind;
+  return harness::run_scenario(s);
 }
 
 }  // namespace

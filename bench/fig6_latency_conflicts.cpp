@@ -9,27 +9,29 @@
 //  * e.g. Virginia at 30%: CAESAR 90ms < EPaxos 108ms < M2Paxos 127ms.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, double conflict) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = 10;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.duration = 12 * kSec;
-  cfg.warmup = 3 * kSec;
-  cfg.seed = 6;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 200 * kMs;
+  return harness::run_scenario(ScenarioBuilder("fig6")
+                                   .protocol(kind)
+                                   .clients_per_site(10)
+                                   .conflicts(conflict)
+                                   .caesar(caesar)
+                                   .duration(12 * kSec)
+                                   .warmup(3 * kSec)
+                                   .seed(6)
+                                   .build());
 }
 
 }  // namespace

@@ -8,28 +8,30 @@
 // Paxos-IN uniformly bad.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, NodeId mpaxos_leader) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = 10;
-  cfg.workload.conflict_fraction = 0.0;
-  cfg.multipaxos.leader = mpaxos_leader;
-  cfg.duration = 12 * kSec;
-  cfg.warmup = 3 * kSec;
-  cfg.seed = 7;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 200 * kMs;
+  return harness::run_scenario(ScenarioBuilder("fig7")
+                                   .protocol(kind)
+                                   .clients_per_site(10)
+                                   .conflicts(0.0)
+                                   .multipaxos_leader(mpaxos_leader)
+                                   .caesar(caesar)
+                                   .duration(12 * kSec)
+                                   .warmup(3 * kSec)
+                                   .seed(7)
+                                   .build());
 }
 
 }  // namespace

@@ -5,32 +5,37 @@
 // Paper shape: CAESAR holds a steady latency and saturates only beyond
 // ~1500 clients; EPaxos' dependency-graph analysis drives latency up as load
 // grows; M2Paxos stops scaling after ~1000 clients due to forwarding.
+#include <algorithm>
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, std::uint32_t total_clients) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = total_clients / 5;
-  if (cfg.workload.clients_per_site == 0) cfg.workload.clients_per_site = 1;
-  cfg.workload.conflict_fraction = 0.10;
-  cfg.duration = 8 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.seed = 8;
-  cfg.node.base_service_us = 12;
-  cfg.caesar.gossip_interval_us = 100 * kMs;
-  cfg.check_consistency = total_clients <= 500;  // bound memory on big runs
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 100 * kMs;
+  rt::NodeConfig node;
+  node.base_service_us = 12;
+  return harness::run_scenario(
+      ScenarioBuilder("fig8")
+          .protocol(kind)
+          .clients_per_site(std::max<std::uint32_t>(total_clients / 5, 1))
+          .conflicts(0.10)
+          .node(node)
+          .caesar(caesar)
+          .duration(8 * kSec)
+          .warmup(2 * kSec)
+          .seed(8)
+          .check_consistency(total_clients <= 500)  // bound memory on big runs
+          .build());
 }
 
 }  // namespace

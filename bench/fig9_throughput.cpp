@@ -9,34 +9,39 @@
 // Batching on: CAESAR sustains ~3x EPaxos up to 10%; EPaxos best at >=50%.
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 namespace {
 
 using namespace caesar;
-using harness::ExperimentConfig;
 using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::ScenarioBuilder;
 using harness::Table;
 
 ExperimentResult run(ProtocolKind kind, double conflict, bool batching,
                      NodeId mpaxos_leader = 3) {
-  ExperimentConfig cfg;
-  cfg.protocol = kind;
-  cfg.workload.clients_per_site = 800;  // saturating closed-loop pool
-  cfg.workload.conflict_fraction = conflict;
-  cfg.multipaxos.leader = mpaxos_leader;
-  cfg.node.base_service_us = 15;
-  cfg.node.batching = batching;
-  cfg.node.batch_delay_us = 2 * kMs;
-  cfg.node.batch_max_ops = 96;
-  cfg.duration = 5 * kSec;
-  cfg.warmup = 1500 * kMs;
-  cfg.seed = 9;
-  cfg.caesar.gossip_interval_us = 100 * kMs;
-  cfg.check_consistency = false;  // throughput runs are large
-  return harness::run_experiment(cfg);
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 100 * kMs;
+  rt::NodeConfig node;
+  node.base_service_us = 15;
+  node.batching = batching;
+  node.batch_delay_us = 2 * kMs;
+  node.batch_max_ops = 96;
+  return harness::run_scenario(
+      ScenarioBuilder("fig9")
+          .protocol(kind)
+          .clients_per_site(800)  // saturating closed-loop pool
+          .conflicts(conflict)
+          .multipaxos_leader(mpaxos_leader)
+          .node(node)
+          .caesar(caesar)
+          .duration(5 * kSec)
+          .warmup(1500 * kMs)
+          .seed(9)
+          .check_consistency(false)  // throughput runs are large
+          .build());
 }
 
 void panel(bool batching) {

@@ -1,19 +1,24 @@
-// consensus_cli: a small command-line driver over the experiment harness so
+// consensus_cli: a small command-line driver over the scenario harness so
 // downstream users can explore the protocol space without writing C++.
 //
 //   $ ./examples/consensus_cli --protocol=caesar --conflict=30 \
 //         --clients=50 --duration=10 --batching --seed=7
+//   $ ./examples/consensus_cli --scenario=partition-heal
+//   $ ./examples/consensus_cli --list-scenarios
 //
 // Prints per-site latency, throughput, decision-path statistics and the
-// cross-site consistency verdict.
+// cross-site consistency verdict. With --scenario the run starts from a
+// registered scenario (fault schedule and workload phases included) and the
+// remaining flags act as overrides.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 using namespace caesar;
 
@@ -32,10 +37,14 @@ std::optional<harness::ProtocolKind> parse_protocol(const std::string& name) {
 void usage() {
   std::cout <<
       "usage: consensus_cli [options]\n"
+      "  --scenario=NAME   start from a registered scenario (see\n"
+      "                    --list-scenarios); other flags override it\n"
+      "  --list-scenarios  print the scenario registry and exit\n"
       "  --protocol=NAME   caesar|epaxos|m2paxos|mencius|multipaxos|clockrsm\n"
       "                    (default caesar)\n"
       "  --conflict=PCT    conflicting-command percentage (default 10)\n"
       "  --clients=N       closed-loop clients per site (default 10)\n"
+      "  --rate=TPS        open-loop Poisson arrivals/s instead of closed loop\n"
       "  --duration=SEC    simulated seconds (default 10)\n"
       "  --seed=N          simulation seed (default 1)\n"
       "  --leader=SITE     Multi-Paxos leader site index (default 3=Ireland)\n"
@@ -47,11 +56,34 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  harness::ExperimentConfig cfg;
-  cfg.workload.conflict_fraction = 0.10;
-  cfg.duration = 10 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
+  harness::Scenario s;
+  s.name = "cli";
+  s.workload.conflict_fraction = 0.10;
+  s.duration = 10 * kSec;
+  s.warmup = 2 * kSec;
+  s.caesar.gossip_interval_us = 200 * kMs;
+
+  // --list-scenarios / --scenario come first: the scenario forms the base
+  // configuration the remaining flags then override.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-scenarios") {
+      harness::Table t({"scenario", "description"});
+      for (const auto& info : harness::list_scenarios()) {
+        t.add_row({info.name, info.description});
+      }
+      t.print();
+      return 0;
+    }
+    if (arg.rfind("--scenario=", 0) == 0) {
+      try {
+        s = harness::make_scenario(arg.substr(std::strlen("--scenario=")));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    }
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,32 +95,37 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
+    } else if (arg == "--list-scenarios" || value_of("--scenario=")) {
+      // handled in the first pass
     } else if (auto v = value_of("--protocol=")) {
       auto kind = parse_protocol(*v);
       if (!kind) {
         std::cerr << "unknown protocol: " << *v << "\n";
         return 2;
       }
-      cfg.protocol = *kind;
+      s.protocol = *kind;
     } else if (auto v = value_of("--conflict=")) {
-      cfg.workload.conflict_fraction = std::atof(v->c_str()) / 100.0;
+      s.workload.conflict_fraction = std::atof(v->c_str()) / 100.0;
     } else if (auto v = value_of("--clients=")) {
-      cfg.workload.clients_per_site =
+      s.workload.clients_per_site =
           static_cast<std::uint32_t>(std::atoi(v->c_str()));
+      s.phases.clear();  // back to the default single closed-loop phase
+    } else if (auto v = value_of("--rate=")) {
+      s.phases = {wl::PhaseSpec::open_loop(0, std::atof(v->c_str()))};
     } else if (auto v = value_of("--duration=")) {
-      cfg.duration = static_cast<Time>(std::atof(v->c_str()) * kSec);
-      cfg.warmup = cfg.duration / 5;
+      s.duration = static_cast<Time>(std::atof(v->c_str()) * kSec);
+      s.warmup = s.duration / 5;
     } else if (auto v = value_of("--seed=")) {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+      s.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
     } else if (auto v = value_of("--leader=")) {
-      cfg.multipaxos.leader = static_cast<NodeId>(std::atoi(v->c_str()));
+      s.multipaxos.leader = static_cast<NodeId>(std::atoi(v->c_str()));
     } else if (arg == "--batching") {
-      cfg.node.batching = true;
+      s.node.batching = true;
     } else if (arg == "--no-wait") {
-      cfg.caesar.wait_enabled = false;
+      s.caesar.wait_enabled = false;
     } else if (auto v = value_of("--crash=")) {
-      cfg.crash_node = static_cast<NodeId>(std::atoi(v->c_str()));
-      cfg.crash_at = cfg.duration / 2;
+      s.faults.push_back(harness::FaultEvent::Crash(
+          static_cast<NodeId>(std::atoi(v->c_str())), s.duration / 2));
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage();
@@ -96,21 +133,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "protocol=" << to_string(cfg.protocol)
-            << " conflict=" << cfg.workload.conflict_fraction * 100 << "%"
-            << " clients/site=" << cfg.workload.clients_per_site
-            << " duration=" << cfg.duration / kSec << "s seed=" << cfg.seed
-            << (cfg.node.batching ? " batching" : "")
-            << (cfg.caesar.wait_enabled ? "" : " no-wait") << "\n\n";
+  std::cout << "scenario=" << s.name << " protocol=" << to_string(s.protocol)
+            << " conflict=" << s.workload.conflict_fraction * 100 << "%"
+            << " clients/site=" << s.workload.clients_per_site
+            << " duration=" << s.duration / kSec << "s seed=" << s.seed
+            << (s.node.batching ? " batching" : "")
+            << (s.caesar.wait_enabled ? "" : " no-wait") << "\n";
+  for (const auto& e : s.faults) std::cout << "fault: " << to_string(e) << "\n";
+  std::cout << "\n";
 
-  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  harness::ExperimentResult r;
+  try {
+    r = harness::run_scenario(s);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "invalid scenario: " << e.what() << "\n";
+    return 2;
+  }
 
   harness::Table t({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
-  for (const auto& s : r.sites) {
-    t.add_row({s.name, harness::Table::ms(s.latency.mean()),
-               harness::Table::ms(static_cast<double>(s.latency.percentile(50))),
-               harness::Table::ms(static_cast<double>(s.latency.percentile(99))),
-               std::to_string(s.latency.count())});
+  for (const auto& site : r.sites) {
+    t.add_row({site.name, harness::Table::ms(site.latency.mean()),
+               harness::Table::ms(static_cast<double>(site.latency.percentile(50))),
+               harness::Table::ms(static_cast<double>(site.latency.percentile(99))),
+               std::to_string(site.latency.count())});
   }
   t.print();
   std::cout << "\nthroughput: " << harness::Table::num(r.throughput_tps, 0)

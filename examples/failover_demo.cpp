@@ -1,31 +1,38 @@
 // Failover demo: crash a site mid-run and watch CAESAR's recovery protocol
 // finish the dead leader's in-flight commands while clients reconnect —
-// the paper's Fig 12 scenario as an interactive walkthrough.
+// the paper's Fig 12 scenario as an interactive walkthrough, expressed as a
+// fault schedule on the Scenario builder (a compact cousin of the
+// registered "fig12-failover" scenario).
 //
 //   $ ./examples/failover_demo
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 using namespace caesar;
 
 int main() {
-  harness::ExperimentConfig cfg;
-  cfg.protocol = harness::ProtocolKind::kCaesar;
-  cfg.workload.clients_per_site = 50;
-  cfg.workload.conflict_fraction = 0.05;
-  cfg.workload.reconnect_delay_us = 1 * kSec;
-  cfg.duration = 16 * kSec;
-  cfg.warmup = 0;
-  cfg.crash_node = 2;  // Frankfurt dies...
-  cfg.crash_at = 8 * kSec;  // ...halfway through
-  cfg.fd_timeout_us = 800 * kMs;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
-  cfg.timeline_bucket = 1 * kSec;
+  core::CaesarConfig caesar_cfg;
+  caesar_cfg.gossip_interval_us = 200 * kMs;
+  wl::WorkloadConfig workload;
+  workload.clients_per_site = 50;
+  workload.conflict_fraction = 0.05;
+  workload.reconnect_delay_us = 1 * kSec;
+
+  const harness::Scenario s = harness::ScenarioBuilder("failover-demo")
+                                  .protocol(harness::ProtocolKind::kCaesar)
+                                  .workload(workload)
+                                  .caesar(caesar_cfg)
+                                  .crash(2, 8 * kSec)  // Frankfurt, mid-run
+                                  .fd_timeout(800 * kMs)
+                                  .duration(16 * kSec)
+                                  .warmup(0)
+                                  .timeline_bucket(1 * kSec)
+                                  .build();
 
   std::cout << "CAESAR cluster, 250 clients; Frankfurt crashes at t=8s\n\n";
-  harness::ExperimentResult r = harness::run_experiment(cfg);
+  harness::ExperimentResult r = harness::run_scenario(s);
 
   harness::Table t({"t(s)", "completions/s", ""});
   double peak = 0;

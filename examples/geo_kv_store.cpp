@@ -9,8 +9,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 using namespace caesar;
 
@@ -18,19 +18,22 @@ int main(int argc, char** argv) {
   double conflict = 0.10;
   if (argc > 1) conflict = std::atof(argv[1]) / 100.0;
 
-  harness::ExperimentConfig cfg;
-  cfg.protocol = harness::ProtocolKind::kCaesar;
-  cfg.workload.clients_per_site = 25;
-  cfg.workload.conflict_fraction = conflict;
-  cfg.duration = 10 * kSec;
-  cfg.warmup = 2 * kSec;
-  cfg.caesar.gossip_interval_us = 200 * kMs;
+  core::CaesarConfig caesar_cfg;
+  caesar_cfg.gossip_interval_us = 200 * kMs;
+  const harness::Scenario s = harness::ScenarioBuilder("geo-kv-store")
+                                  .protocol(harness::ProtocolKind::kCaesar)
+                                  .clients_per_site(25)
+                                  .conflicts(conflict)
+                                  .caesar(caesar_cfg)
+                                  .duration(10 * kSec)
+                                  .warmup(2 * kSec)
+                                  .build();
 
   std::cout << "Geo-replicated KV store on CAESAR, "
             << harness::Table::num(conflict * 100, 0) << "% conflicting writes, "
-            << cfg.workload.clients_per_site << " clients/site\n\n";
+            << s.workload.clients_per_site << " clients/site\n\n";
 
-  harness::ExperimentResult r = harness::run_experiment(cfg);
+  harness::ExperimentResult r = harness::run_scenario(s);
 
   harness::Table t({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
   for (const auto& s : r.sites) {

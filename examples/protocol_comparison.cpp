@@ -6,8 +6,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/scenario.h"
 
 using namespace caesar;
 
@@ -24,15 +24,18 @@ int main(int argc, char** argv) {
        {harness::ProtocolKind::kCaesar, harness::ProtocolKind::kEPaxos,
         harness::ProtocolKind::kM2Paxos, harness::ProtocolKind::kMencius,
         harness::ProtocolKind::kMultiPaxos}) {
-    harness::ExperimentConfig cfg;
-    cfg.protocol = kind;
-    cfg.workload.clients_per_site = 10;
-    cfg.workload.conflict_fraction = conflict;
-    cfg.duration = 10 * kSec;
-    cfg.warmup = 2 * kSec;
-    cfg.caesar.gossip_interval_us = 200 * kMs;
-    cfg.multipaxos.leader = 3;  // Ireland
-    harness::ExperimentResult r = harness::run_experiment(cfg);
+    core::CaesarConfig caesar_cfg;
+    caesar_cfg.gossip_interval_us = 200 * kMs;
+    harness::ExperimentResult r = harness::run_scenario(
+        harness::ScenarioBuilder("protocol-comparison")
+            .protocol(kind)
+            .clients_per_site(10)
+            .conflicts(conflict)
+            .caesar(caesar_cfg)
+            .multipaxos_leader(3)  // Ireland
+            .duration(10 * kSec)
+            .warmup(2 * kSec)
+            .build());
     t.add_row({std::string(to_string(kind)),
                harness::Table::ms(r.total_latency.mean()),
                harness::Table::ms(

@@ -1,153 +1,34 @@
 #include "harness/experiment.h"
 
-#include <stdexcept>
-
 namespace caesar::harness {
 
-std::string_view to_string(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kCaesar:
-      return "Caesar";
-    case ProtocolKind::kEPaxos:
-      return "EPaxos";
-    case ProtocolKind::kM2Paxos:
-      return "M2Paxos";
-    case ProtocolKind::kMencius:
-      return "Mencius";
-    case ProtocolKind::kMultiPaxos:
-      return "MultiPaxos";
-    case ProtocolKind::kClockRsm:
-      return "ClockRSM";
+Scenario to_scenario(const ExperimentConfig& cfg) {
+  Scenario s;
+  s.name = "experiment";
+  s.protocol = cfg.protocol;
+  s.topology = cfg.topology;
+  s.workload = cfg.workload;
+  s.node = cfg.node;
+  s.fd_timeout_us = cfg.fd_timeout_us;
+  s.duration = cfg.duration;
+  s.warmup = cfg.warmup;
+  s.seed = cfg.seed;
+  s.caesar = cfg.caesar;
+  s.epaxos = cfg.epaxos;
+  s.m2paxos = cfg.m2paxos;
+  s.mencius = cfg.mencius;
+  s.clockrsm = cfg.clockrsm;
+  s.multipaxos = cfg.multipaxos;
+  s.check_consistency = cfg.check_consistency;
+  s.timeline_bucket = cfg.timeline_bucket;
+  if (cfg.crash_node != kNoNode) {
+    s.faults.push_back(FaultEvent::Crash(cfg.crash_node, cfg.crash_at));
   }
-  return "?";
+  return s;
 }
-
-namespace {
-
-rt::Cluster::ProtocolFactory make_factory(
-    const ExperimentConfig& cfg, std::vector<stats::ProtocolStats>& stats) {
-  switch (cfg.protocol) {
-    case ProtocolKind::kCaesar:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<core::Caesar>(env, std::move(deliver),
-                                              cfg.caesar, &stats[env.id()]);
-      };
-    case ProtocolKind::kEPaxos:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<epaxos::EPaxos>(env, std::move(deliver),
-                                                cfg.epaxos, &stats[env.id()]);
-      };
-    case ProtocolKind::kM2Paxos:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<m2paxos::M2Paxos>(
-            env, std::move(deliver), cfg.m2paxos, &stats[env.id()]);
-      };
-    case ProtocolKind::kMencius:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<mencius::Mencius>(
-            env, std::move(deliver), cfg.mencius, &stats[env.id()]);
-      };
-    case ProtocolKind::kMultiPaxos:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<mpaxos::MultiPaxos>(
-            env, std::move(deliver), cfg.multipaxos, &stats[env.id()]);
-      };
-    case ProtocolKind::kClockRsm:
-      return [&cfg, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<clockrsm::ClockRsm>(
-            env, std::move(deliver), cfg.clockrsm, &stats[env.id()]);
-      };
-  }
-  throw std::invalid_argument("unknown protocol kind");
-}
-
-}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  const std::size_t n = cfg.topology.size();
-  sim::Simulator sim(cfg.seed);
-
-  ExperimentResult result;
-  result.per_node.resize(n);
-  result.timeline = stats::TimeSeries(cfg.timeline_bucket);
-  result.sites.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    result.sites.push_back(SiteMetrics{cfg.topology.site_names[i], {}});
-  }
-
-  std::vector<rsm::DeliveryLog> logs(cfg.check_consistency ? n : 0);
-  std::vector<rsm::KvStore> kvs(n);
-
-  wl::ClientPool* pool_ptr = nullptr;
-  rt::ClusterConfig ccfg;
-  ccfg.node = cfg.node;
-  ccfg.fd_timeout_us = cfg.fd_timeout_us;
-
-  rt::Cluster cluster(
-      sim, cfg.topology, ccfg, make_factory(cfg, result.per_node),
-      [&](NodeId node, const rsm::Command& cmd) {
-        if (cfg.check_consistency) logs[node].record(cmd);
-        kvs[node].apply(cmd);
-        if (pool_ptr != nullptr) pool_ptr->on_delivery(node, cmd);
-      });
-
-  wl::ClientPool pool(sim, cluster, cfg.workload, sim.rng().fork());
-  pool_ptr = &pool;
-  pool.set_completion_hook([&](const wl::Completion& c) {
-    result.timeline.record(c.complete_time);
-    if (c.complete_time < cfg.warmup) return;
-    const Time latency = c.complete_time - c.submit_time;
-    result.total_latency.record(latency);
-    result.sites[c.site].latency.record(latency);
-  });
-
-  cluster.start();
-  pool.start();
-
-  if (cfg.crash_node != kNoNode) {
-    sim.at(cfg.crash_at, [&] {
-      cluster.crash(cfg.crash_node);
-      pool.on_node_crashed(cfg.crash_node);
-    });
-  }
-
-  sim.run_until(cfg.duration);
-
-  result.completed = pool.completed();
-  result.submitted = pool.submitted();
-  const double window_s =
-      static_cast<double>(cfg.duration - cfg.warmup) / static_cast<double>(kSec);
-  result.throughput_tps =
-      window_s > 0 ? static_cast<double>(result.total_latency.count()) / window_s
-                   : 0.0;
-
-  for (const auto& s : result.per_node) {
-    result.proto.fast_decisions += s.fast_decisions;
-    result.proto.slow_decisions += s.slow_decisions;
-    result.proto.retries += s.retries;
-    result.proto.slow_proposals += s.slow_proposals;
-    result.proto.recoveries += s.recoveries;
-    result.proto.waits += s.waits;
-    result.proto.wait_time.merge(s.wait_time);
-    result.proto.propose_phase.merge(s.propose_phase);
-    result.proto.retry_phase.merge(s.retry_phase);
-    result.proto.deliver_phase.merge(s.deliver_phase);
-  }
-
-  if (cfg.check_consistency) {
-    for (std::size_t i = 0; i < n && result.consistent; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (!rsm::consistent_key_orders(logs[i], logs[j])) {
-          result.consistent = false;
-          break;
-        }
-      }
-    }
-  }
-
-  result.messages = cluster.network().messages_delivered();
-  result.bytes = cluster.network().bytes_sent();
-  return result;
+  return run_scenario(to_scenario(cfg));
 }
 
 }  // namespace caesar::harness

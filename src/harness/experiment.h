@@ -1,40 +1,14 @@
-// Experiment harness: builds a cluster running one of the five protocols on
-// the paper's geo topology, drives it with closed-loop clients at a chosen
-// conflict rate, and returns the metrics the paper's figures plot.
+// Legacy experiment harness, kept as a thin compatibility shim over the
+// Scenario API (harness/scenario.h). ExperimentConfig expresses exactly one
+// shape — a single closed-loop workload plus at most one crash — and
+// run_experiment() maps it onto a one-phase scenario. New code should build
+// scenarios directly; this header remains so the paper-figure programs and
+// older tests stay source-compatible.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <string_view>
-#include <vector>
-
-#include "clockrsm/clock_rsm.h"
-#include "core/caesar.h"
-#include "epaxos/epaxos.h"
-#include "m2paxos/m2paxos.h"
-#include "mencius/mencius.h"
-#include "multipaxos/multipaxos.h"
-#include "net/topology.h"
-#include "rsm/delivery_log.h"
-#include "rsm/kvstore.h"
-#include "runtime/cluster.h"
-#include "stats/latency_stats.h"
-#include "stats/protocol_stats.h"
-#include "stats/time_series.h"
-#include "workload/client_pool.h"
+#include "harness/scenario.h"
 
 namespace caesar::harness {
-
-enum class ProtocolKind {
-  kCaesar,
-  kEPaxos,
-  kM2Paxos,
-  kMencius,
-  kMultiPaxos,
-  kClockRsm,  // extension: related-work baseline (paper §II)
-};
-
-std::string_view to_string(ProtocolKind kind);
 
 struct ExperimentConfig {
   ProtocolKind protocol = ProtocolKind::kCaesar;
@@ -66,34 +40,12 @@ struct ExperimentConfig {
   Time timeline_bucket = 500 * kMs;
 };
 
-struct SiteMetrics {
-  std::string name;
-  stats::LatencyStats latency;  // per-completion, measured after warmup
-};
-
-struct ExperimentResult {
-  std::vector<SiteMetrics> sites;
-  stats::LatencyStats total_latency;
-  /// Completions per second within the measurement window.
-  double throughput_tps = 0.0;
-  std::uint64_t completed = 0;
-  std::uint64_t submitted = 0;
-
-  /// Aggregated and per-node protocol counters.
-  stats::ProtocolStats proto;
-  std::vector<stats::ProtocolStats> per_node;
-
-  /// Completions per timeline bucket (Fig 12).
-  stats::TimeSeries timeline{500 * kMs};
-
-  bool consistent = true;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-
-  double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
-};
+/// The scenario an ExperimentConfig denotes: one closed-loop phase plus at
+/// most one crash. Useful when migrating call sites mechanically.
+Scenario to_scenario(const ExperimentConfig& cfg);
 
 /// Runs one experiment to completion. Deterministic in cfg.seed.
+/// Equivalent to run_scenario(to_scenario(cfg)).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
 }  // namespace caesar::harness

@@ -1,0 +1,686 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "rsm/delivery_log.h"
+#include "rsm/kvstore.h"
+
+namespace caesar::harness {
+
+std::string_view to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kCaesar:
+      return "Caesar";
+    case ProtocolKind::kEPaxos:
+      return "EPaxos";
+    case ProtocolKind::kM2Paxos:
+      return "M2Paxos";
+    case ProtocolKind::kMencius:
+      return "Mencius";
+    case ProtocolKind::kMultiPaxos:
+      return "MultiPaxos";
+    case ProtocolKind::kClockRsm:
+      return "ClockRSM";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FaultEvent
+// ---------------------------------------------------------------------------
+
+FaultEvent FaultEvent::Crash(NodeId node, Time at) {
+  FaultEvent e;
+  e.kind = Kind::kCrash;
+  e.node = node;
+  e.at = at;
+  return e;
+}
+
+FaultEvent FaultEvent::Recover(NodeId node, Time at) {
+  FaultEvent e;
+  e.kind = Kind::kRecover;
+  e.node = node;
+  e.at = at;
+  return e;
+}
+
+FaultEvent FaultEvent::Partition(NodeId a, NodeId b, Time at) {
+  FaultEvent e;
+  e.kind = Kind::kPartition;
+  e.a = a;
+  e.b = b;
+  e.at = at;
+  return e;
+}
+
+FaultEvent FaultEvent::Heal(NodeId a, NodeId b, Time at) {
+  FaultEvent e;
+  e.kind = Kind::kHeal;
+  e.a = a;
+  e.b = b;
+  e.at = at;
+  return e;
+}
+
+std::string to_string(const FaultEvent& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrash:
+      os << "Crash{node=" << e.node;
+      break;
+    case FaultEvent::Kind::kRecover:
+      os << "Recover{node=" << e.node;
+      break;
+    case FaultEvent::Kind::kPartition:
+      os << "Partition{a=" << e.a << ", b=" << e.b;
+      break;
+    case FaultEvent::Kind::kHeal:
+      os << "Heal{a=" << e.a << ", b=" << e.b;
+      break;
+  }
+  os << ", at=" << e.at << "us}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioBuilder
+// ---------------------------------------------------------------------------
+
+ScenarioBuilder& ScenarioBuilder::name(std::string v) {
+  s_.name = std::move(v);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::protocol(ProtocolKind v) {
+  s_.protocol = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::topology(net::Topology v) {
+  s_.topology = std::move(v);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::duration(Time v) {
+  s_.duration = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::warmup(Time v) {
+  s_.warmup = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t v) {
+  s_.seed = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::node(rt::NodeConfig v) {
+  s_.node = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::fd_timeout(Time v) {
+  s_.fd_timeout_us = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::workload(wl::WorkloadConfig v) {
+  s_.workload = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::clients_per_site(std::uint32_t v) {
+  s_.workload.clients_per_site = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::conflicts(double fraction) {
+  s_.workload.conflict_fraction = fraction;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::think_time(Time v) {
+  s_.workload.think_us = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::closed_loop(Time at,
+                                              std::uint32_t clients_per_site,
+                                              Time think_us) {
+  s_.phases.push_back(wl::PhaseSpec::closed_loop(at, clients_per_site, think_us));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::open_loop(Time at, double rate_tps) {
+  s_.phases.push_back(wl::PhaseSpec::open_loop(at, rate_tps));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::crash(NodeId node, Time at) {
+  s_.faults.push_back(FaultEvent::Crash(node, at));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recover(NodeId node, Time at) {
+  s_.faults.push_back(FaultEvent::Recover(node, at));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::partition(NodeId a, NodeId b, Time at) {
+  s_.faults.push_back(FaultEvent::Partition(a, b, at));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::heal(NodeId a, NodeId b, Time at) {
+  s_.faults.push_back(FaultEvent::Heal(a, b, at));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::fault(FaultEvent e) {
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::caesar(core::CaesarConfig v) {
+  s_.caesar = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::epaxos(epaxos::EPaxosConfig v) {
+  s_.epaxos = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::m2paxos(m2paxos::M2PaxosConfig v) {
+  s_.m2paxos = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::mencius(mencius::MenciusConfig v) {
+  s_.mencius = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::clockrsm(clockrsm::ClockRsmConfig v) {
+  s_.clockrsm = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::multipaxos(mpaxos::MultiPaxosConfig v) {
+  s_.multipaxos = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::multipaxos_leader(NodeId leader) {
+  s_.multipaxos.leader = leader;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::check_consistency(bool v) {
+  s_.check_consistency = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::timeline_bucket(Time v) {
+  s_.timeline_bucket = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::sample_stats_at(Time v) {
+  s_.sample_stats_at.push_back(v);
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  Scenario s = s_;
+  std::stable_sort(s.faults.begin(), s.faults.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  std::stable_sort(s.phases.begin(), s.phases.end(),
+                   [](const wl::PhaseSpec& x, const wl::PhaseSpec& y) {
+                     return x.at < y.at;
+                   });
+  std::sort(s.sample_stats_at.begin(), s.sample_stats_at.end());
+  validate_scenario(s);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void fail(const Scenario& s, const std::string& what) {
+  throw std::invalid_argument("scenario '" + s.name + "': " + what);
+}
+
+void check_node_in_range(const Scenario& s, NodeId node, const char* what) {
+  if (node >= s.topology.size()) {
+    std::ostringstream os;
+    os << what << "=" << node << " out of range for topology of "
+       << s.topology.size() << " sites";
+    fail(s, os.str());
+  }
+}
+
+}  // namespace
+
+void validate_scenario(const Scenario& s) {
+  const std::size_t n = s.topology.size();
+  if (n == 0) fail(s, "topology has no sites");
+  if (s.duration <= 0) fail(s, "duration must be positive");
+  if (s.warmup < 0 || s.warmup >= s.duration) {
+    fail(s, "warmup must lie in [0, duration)");
+  }
+  if (s.workload.conflict_fraction < 0.0 ||
+      s.workload.conflict_fraction > 1.0) {
+    fail(s, "workload.conflict_fraction must lie in [0, 1]");
+  }
+
+  // Protocol knobs that index into the topology.
+  if (s.protocol == ProtocolKind::kMultiPaxos) {
+    check_node_in_range(s, s.multipaxos.leader, "multipaxos.leader");
+    if (s.multipaxos.resync_grace_us <= s.fd_timeout_us) {
+      fail(s,
+           "multipaxos.resync_grace_us must exceed fd_timeout_us, or a "
+           "rejoined follower sweeps its log gap before the leader's "
+           "fd-retraction replay arrives");
+    }
+  }
+  if (s.protocol == ProtocolKind::kMencius &&
+      s.mencius.resync_grace_us <= s.fd_timeout_us) {
+    fail(s,
+         "mencius.resync_grace_us must exceed fd_timeout_us, or a rejoined "
+         "node sweeps still-pending accept entries before its peers' "
+         "fd-retraction re-ACCEPTs arrive");
+  }
+  // Mencius and Multi-Paxos count quorum acks in a 64-bit node bitmask.
+  if ((s.protocol == ProtocolKind::kMencius ||
+       s.protocol == ProtocolKind::kMultiPaxos) &&
+      n > 64) {
+    fail(s, "Mencius/MultiPaxos support at most 64 sites (ack bitmask)");
+  }
+  if (s.protocol == ProtocolKind::kCaesar &&
+      s.caesar.fast_quorum_override > n) {
+    std::ostringstream os;
+    os << "caesar.fast_quorum_override=" << s.caesar.fast_quorum_override
+       << " exceeds the topology's " << n << " sites";
+    fail(s, os.str());
+  }
+
+  for (const FaultEvent& e : s.faults) {
+    if (e.at < 0 || e.at > s.duration) {
+      fail(s, to_string(e) + " is outside the run's [0, duration] window");
+    }
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kRecover:
+        check_node_in_range(s, e.node, "fault.node");
+        break;
+      case FaultEvent::Kind::kPartition:
+      case FaultEvent::Kind::kHeal:
+        check_node_in_range(s, e.a, "fault.a");
+        check_node_in_range(s, e.b, "fault.b");
+        if (e.a == e.b) fail(s, to_string(e) + " partitions a node from itself");
+        break;
+    }
+  }
+
+  // Phases execute in time order regardless of their order in the vector
+  // (a Scenario may be built by hand, not via the sorting builder), so the
+  // checks must be order-independent.
+  std::vector<Time> phase_starts;
+  phase_starts.reserve(s.phases.size());
+  for (const wl::PhaseSpec& p : s.phases) {
+    if (p.at < 0 || p.at >= s.duration) {
+      fail(s, "phase start time outside [0, duration)");
+    }
+    phase_starts.push_back(p.at);
+    if (p.mode == wl::PhaseSpec::Mode::kClosedLoop) {
+      if (p.clients_per_site == 0) {
+        fail(s, "closed-loop phase with zero clients per site");
+      }
+      if (p.think_us < 0) fail(s, "closed-loop phase with negative think time");
+    } else {
+      if (p.arrival_rate_tps <= 0.0) {
+        fail(s, "open-loop phase requires a positive arrival rate");
+      }
+    }
+  }
+  std::sort(phase_starts.begin(), phase_starts.end());
+  if (std::adjacent_find(phase_starts.begin(), phase_starts.end()) !=
+      phase_starts.end()) {
+    fail(s, "two phases start at the same instant");
+  }
+  if (!phase_starts.empty() && phase_starts.front() != 0) {
+    fail(s, "the first workload phase must start at t=0");
+  }
+  if (s.phases.empty() && s.workload.clients_per_site == 0) {
+    fail(s, "workload.clients_per_site must be positive");
+  }
+
+  for (Time t : s.sample_stats_at) {
+    if (t < 0 || t > s.duration) {
+      fail(s, "sample_stats_at instant outside [0, duration]");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+rt::Cluster::ProtocolFactory make_factory(
+    const Scenario& s, std::vector<stats::ProtocolStats>& stats) {
+  switch (s.protocol) {
+    case ProtocolKind::kCaesar:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<core::Caesar>(env, std::move(deliver),
+                                              s.caesar, &stats[env.id()]);
+      };
+    case ProtocolKind::kEPaxos:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<epaxos::EPaxos>(env, std::move(deliver),
+                                                s.epaxos, &stats[env.id()]);
+      };
+    case ProtocolKind::kM2Paxos:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<m2paxos::M2Paxos>(env, std::move(deliver),
+                                                  s.m2paxos, &stats[env.id()]);
+      };
+    case ProtocolKind::kMencius:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<mencius::Mencius>(env, std::move(deliver),
+                                                  s.mencius, &stats[env.id()]);
+      };
+    case ProtocolKind::kMultiPaxos:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<mpaxos::MultiPaxos>(
+            env, std::move(deliver), s.multipaxos, &stats[env.id()]);
+      };
+    case ProtocolKind::kClockRsm:
+      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<clockrsm::ClockRsm>(
+            env, std::move(deliver), s.clockrsm, &stats[env.id()]);
+      };
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+
+stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node) {
+  stats::ProtocolStats total;
+  for (const auto& s : per_node) {
+    total.fast_decisions += s.fast_decisions;
+    total.slow_decisions += s.slow_decisions;
+    total.retries += s.retries;
+    total.slow_proposals += s.slow_proposals;
+    total.recoveries += s.recoveries;
+    total.waits += s.waits;
+    total.wait_time.merge(s.wait_time);
+    total.propose_phase.merge(s.propose_phase);
+    total.retry_phase.merge(s.retry_phase);
+    total.deliver_phase.merge(s.deliver_phase);
+  }
+  return total;
+}
+
+}  // namespace
+
+ExperimentResult run_scenario(const Scenario& s) {
+  validate_scenario(s);
+
+  const std::size_t n = s.topology.size();
+  sim::Simulator sim(s.seed);
+
+  ExperimentResult result;
+  result.per_node.resize(n);
+  result.timeline = stats::TimeSeries(s.timeline_bucket);
+  result.sites.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.sites.push_back(SiteMetrics{s.topology.site_names[i], {}});
+  }
+
+  std::vector<rsm::DeliveryLog> logs(s.check_consistency ? n : 0);
+  std::vector<rsm::KvStore> kvs(n);
+
+  wl::ClientPool* pool_ptr = nullptr;
+  rt::ClusterConfig ccfg;
+  ccfg.node = s.node;
+  ccfg.fd_timeout_us = s.fd_timeout_us;
+
+  rt::Cluster cluster(
+      sim, s.topology, ccfg, make_factory(s, result.per_node),
+      [&](NodeId node, const rsm::Command& cmd) {
+        if (s.check_consistency) logs[node].record(cmd);
+        kvs[node].apply(cmd);
+        if (pool_ptr != nullptr) pool_ptr->on_delivery(node, cmd);
+      });
+
+  wl::ClientPool pool(sim, cluster, s.workload, sim.rng().fork(), s.phases);
+  pool_ptr = &pool;
+  pool.set_completion_hook([&](const wl::Completion& c) {
+    result.timeline.record(c.complete_time);
+    if (c.complete_time < s.warmup) return;
+    const Time latency = c.complete_time - c.submit_time;
+    result.total_latency.record(latency);
+    result.sites[c.site].latency.record(latency);
+  });
+
+  cluster.start();
+  pool.start();
+
+  // Fault schedule: each event fires at its instant, in timeline order.
+  for (const FaultEvent& e : s.faults) {
+    sim.at(e.at, [&cluster, &pool, e] {
+      switch (e.kind) {
+        case FaultEvent::Kind::kCrash:
+          cluster.crash(e.node);
+          pool.on_node_crashed(e.node);
+          break;
+        case FaultEvent::Kind::kRecover:
+          cluster.recover(e.node);
+          pool.on_node_recovered(e.node);
+          break;
+        case FaultEvent::Kind::kPartition:
+          cluster.set_link(e.a, e.b, false);
+          break;
+        case FaultEvent::Kind::kHeal:
+          cluster.set_link(e.a, e.b, true);
+          break;
+      }
+    });
+  }
+
+  // Mid-run protocol-counter snapshots.
+  result.samples.reserve(s.sample_stats_at.size());
+  for (Time t : s.sample_stats_at) {
+    sim.at(t, [&result, &pool, t] {
+      result.samples.push_back(
+          StatsSample{t, aggregate(result.per_node), pool.completed()});
+    });
+  }
+
+  sim.run_until(s.duration);
+
+  result.completed = pool.completed();
+  result.submitted = pool.submitted();
+  const double window_s =
+      static_cast<double>(s.duration - s.warmup) / static_cast<double>(kSec);
+  result.throughput_tps =
+      window_s > 0 ? static_cast<double>(result.total_latency.count()) / window_s
+                   : 0.0;
+  result.proto = aggregate(result.per_node);
+
+  if (s.check_consistency) {
+    for (std::size_t i = 0; i < n && result.consistent; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!rsm::consistent_key_orders(logs[i], logs[j])) {
+          result.consistent = false;
+          break;
+        }
+      }
+    }
+  }
+
+  result.messages = cluster.network().messages_delivered();
+  result.bytes = cluster.network().bytes_sent();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::map<std::string, ScenarioInfo, std::less<>>& registry() {
+  static std::map<std::string, ScenarioInfo, std::less<>> reg;
+  return reg;
+}
+
+void register_builtins();
+
+/// Lazily installs the built-ins exactly once. The flag is flipped before
+/// registering so the register_scenario calls inside register_builtins do
+/// not recurse back here.
+void ensure_builtins() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  register_builtins();
+}
+
+void register_builtins() {
+  register_scenario(ScenarioInfo{
+      "quickstart",
+      "CAESAR on the paper's five-site EC2 topology: 10 closed-loop clients "
+      "per site, 10% conflicts, 10s run",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 200 * kMs;
+        return ScenarioBuilder("quickstart")
+            .protocol(ProtocolKind::kCaesar)
+            .clients_per_site(10)
+            .conflicts(0.10)
+            .caesar(caesar)
+            .duration(10 * kSec)
+            .warmup(2 * kSec)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "fig12-failover",
+      "Paper Fig 12: 500 closed-loop clients/site, Frankfurt crashes at "
+      "t=20s, its clients reconnect; throughput timeline shows dip+recovery",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 100 * kMs;
+        rt::NodeConfig node;
+        node.base_service_us = 12;
+        wl::WorkloadConfig w;
+        w.clients_per_site = 500;
+        w.conflict_fraction = 0.02;
+        w.reconnect_delay_us = 2 * kSec;
+        return ScenarioBuilder("fig12-failover")
+            .protocol(ProtocolKind::kCaesar)
+            .workload(w)
+            .node(node)
+            .caesar(caesar)
+            .crash(2, 20 * kSec)  // Frankfurt, as in the paper
+            .fd_timeout(1 * kSec)
+            .duration(40 * kSec)
+            .warmup(0)
+            .seed(12)
+            .check_consistency(false)
+            .timeline_bucket(1 * kSec)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "partition-heal",
+      "Virginia loses its links to Frankfurt and Ireland between t=4s and "
+      "t=8s (fast quorum unreachable from Virginia), then the links heal; "
+      "snapshots at the boundaries expose the fast-path dip and recovery",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 200 * kMs;
+        return ScenarioBuilder("partition-heal")
+            .protocol(ProtocolKind::kCaesar)
+            .clients_per_site(8)
+            .conflicts(0.10)
+            .caesar(caesar)
+            .partition(0, 2, 4 * kSec)
+            .partition(0, 3, 4 * kSec)
+            .heal(0, 2, 8 * kSec)
+            .heal(0, 3, 8 * kSec)
+            .sample_stats_at(4 * kSec)
+            .sample_stats_at(8 * kSec)
+            .duration(14 * kSec)
+            .warmup(1 * kSec)
+            .seed(7)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "crash-recover",
+      "Frankfurt crashes at t=4s and rejoins (state intact) at t=8s; "
+      "exercises Recover events and the failure detector's retraction path",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 200 * kMs;
+        wl::WorkloadConfig w;
+        w.clients_per_site = 8;
+        w.conflict_fraction = 0.05;
+        w.reconnect_delay_us = 1 * kSec;
+        return ScenarioBuilder("crash-recover")
+            .protocol(ProtocolKind::kCaesar)
+            .workload(w)
+            .caesar(caesar)
+            .crash(2, 4 * kSec)
+            .recover(2, 8 * kSec)
+            .fd_timeout(500 * kMs)
+            .duration(14 * kSec)
+            .warmup(1 * kSec)
+            .seed(9)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "rate-sweep",
+      "Open-loop Poisson load stepping 500 -> 2000 -> 4000 cmd/s mid-run; "
+      "demonstrates workload-phase switching and rate tracking",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 100 * kMs;
+        return ScenarioBuilder("rate-sweep")
+            .protocol(ProtocolKind::kCaesar)
+            .conflicts(0.02)
+            .caesar(caesar)
+            .open_loop(0, 500.0)
+            .open_loop(4 * kSec, 2000.0)
+            .open_loop(8 * kSec, 4000.0)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(11)
+            .build();
+      }});
+}
+
+}  // namespace
+
+void register_scenario(ScenarioInfo info) {
+  ensure_builtins();
+  auto& reg = registry();
+  std::string key = info.name;
+  reg[std::move(key)] = std::move(info);
+}
+
+bool has_scenario(std::string_view name) {
+  ensure_builtins();
+  const auto& reg = registry();
+  return reg.find(name) != reg.end();
+}
+
+Scenario make_scenario(std::string_view name) {
+  ensure_builtins();
+  const auto& reg = registry();
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    std::ostringstream os;
+    os << "unknown scenario '" << name << "'; available:";
+    for (const auto& [key, info] : reg) os << " " << key;
+    throw std::invalid_argument(os.str());
+  }
+  return it->second.make();
+}
+
+std::vector<ScenarioInfo> list_scenarios() {
+  ensure_builtins();
+  std::vector<ScenarioInfo> out;
+  for (const auto& [key, info] : registry()) out.push_back(info);
+  return out;
+}
+
+}  // namespace caesar::harness

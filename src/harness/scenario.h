@@ -1,0 +1,242 @@
+// Scenario API: the composable successor to the monolithic ExperimentConfig.
+//
+// A Scenario is (1) a protocol + topology + node/runtime knobs, (2) an
+// ordered *fault schedule* — crashes, recoveries, link partitions and heals
+// executed by the cluster at precise simulated instants — and (3) a list of
+// *workload phases* (closed-loop, open-loop Poisson, think-time variants)
+// the client pool switches through mid-run. Scenarios are built fluently:
+//
+//   Scenario s = ScenarioBuilder("partition-heal")
+//                    .protocol(ProtocolKind::kCaesar)
+//                    .clients_per_site(10)
+//                    .conflicts(0.1)
+//                    .partition(0, 2, 4 * kSec)
+//                    .heal(0, 2, 8 * kSec)
+//                    .duration(12 * kSec)
+//                    .build();
+//   ExperimentResult r = run_scenario(s);
+//
+// Well-known scenarios (the paper's figures and extensions) live in a global
+// registry so benches, examples and the CLI can select them by name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clockrsm/clock_rsm.h"
+#include "core/caesar.h"
+#include "epaxos/epaxos.h"
+#include "m2paxos/m2paxos.h"
+#include "mencius/mencius.h"
+#include "multipaxos/multipaxos.h"
+#include "net/topology.h"
+#include "runtime/cluster.h"
+#include "stats/latency_stats.h"
+#include "stats/protocol_stats.h"
+#include "stats/time_series.h"
+#include "workload/client_pool.h"
+
+namespace caesar::harness {
+
+enum class ProtocolKind {
+  kCaesar,
+  kEPaxos,
+  kM2Paxos,
+  kMencius,
+  kMultiPaxos,
+  kClockRsm,  // extension: related-work baseline (paper §II)
+};
+
+std::string_view to_string(ProtocolKind kind);
+
+/// One entry of a scenario's fault timeline.
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover, kPartition, kHeal };
+
+  Kind kind = Kind::kCrash;
+  Time at = 0;
+  /// Crash/Recover target.
+  NodeId node = kNoNode;
+  /// Partition/Heal link endpoints.
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+
+  static FaultEvent Crash(NodeId node, Time at);
+  static FaultEvent Recover(NodeId node, Time at);
+  static FaultEvent Partition(NodeId a, NodeId b, Time at);
+  static FaultEvent Heal(NodeId a, NodeId b, Time at);
+};
+
+std::string to_string(const FaultEvent& e);
+
+struct Scenario {
+  std::string name = "unnamed";
+  ProtocolKind protocol = ProtocolKind::kCaesar;
+  net::Topology topology = net::Topology::ec2_five_sites();
+  /// Base workload knobs (conflict model, reconnect delay) shared by all
+  /// phases; clients_per_site/think_us seed the default phase when `phases`
+  /// is empty.
+  wl::WorkloadConfig workload;
+  /// Workload phases in time order; empty = one closed-loop phase at t=0
+  /// built from `workload`.
+  std::vector<wl::PhaseSpec> phases;
+  /// Fault timeline; executed in time order during the run.
+  std::vector<FaultEvent> faults;
+  rt::NodeConfig node;
+  Time fd_timeout_us = 500 * kMs;
+
+  /// Total simulated run length and measurement warmup cutoff.
+  Time duration = 12 * kSec;
+  Time warmup = 3 * kSec;
+  std::uint64_t seed = 1;
+
+  // Protocol-specific knobs.
+  core::CaesarConfig caesar;
+  epaxos::EPaxosConfig epaxos;
+  m2paxos::M2PaxosConfig m2paxos;
+  mencius::MenciusConfig mencius;
+  clockrsm::ClockRsmConfig clockrsm;
+  mpaxos::MultiPaxosConfig multipaxos{/*leader=*/3};  // Ireland by default
+
+  /// Keep per-node delivery logs and verify cross-node consistency at the
+  /// end (disable only for very long throughput runs).
+  bool check_consistency = true;
+  Time timeline_bucket = 500 * kMs;
+  /// Instants at which to snapshot the aggregate protocol counters (lets
+  /// tests compare e.g. fast-path fractions before/during/after a fault).
+  std::vector<Time> sample_stats_at;
+};
+
+struct SiteMetrics {
+  std::string name;
+  stats::LatencyStats latency;  // per-completion, measured after warmup
+};
+
+/// Aggregate protocol counters captured mid-run (Scenario::sample_stats_at).
+struct StatsSample {
+  Time at = 0;
+  stats::ProtocolStats proto;
+  std::uint64_t completed = 0;
+};
+
+struct ExperimentResult {
+  std::vector<SiteMetrics> sites;
+  stats::LatencyStats total_latency;
+  /// Completions per second within the measurement window.
+  double throughput_tps = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t submitted = 0;
+
+  /// Aggregated and per-node protocol counters.
+  stats::ProtocolStats proto;
+  std::vector<stats::ProtocolStats> per_node;
+
+  /// Completions per timeline bucket (Fig 12).
+  stats::TimeSeries timeline{500 * kMs};
+
+  /// Mid-run snapshots, one per Scenario::sample_stats_at in time order.
+  std::vector<StatsSample> samples;
+
+  bool consistent = true;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
+};
+
+/// Fluent scenario construction. All setters return *this; build() validates
+/// and returns the finished scenario (it does not consume the builder, so
+/// variants can be forked from a common prefix).
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(std::string name) { s_.name = std::move(name); }
+  /// Starts from an existing scenario (e.g. a registry entry) to derive a
+  /// variant.
+  explicit ScenarioBuilder(Scenario base) : s_(std::move(base)) {}
+
+  ScenarioBuilder& name(std::string v);
+  ScenarioBuilder& protocol(ProtocolKind v);
+  ScenarioBuilder& topology(net::Topology v);
+  ScenarioBuilder& duration(Time v);
+  ScenarioBuilder& warmup(Time v);
+  ScenarioBuilder& seed(std::uint64_t v);
+  ScenarioBuilder& node(rt::NodeConfig v);
+  ScenarioBuilder& fd_timeout(Time v);
+
+  // Workload.
+  ScenarioBuilder& workload(wl::WorkloadConfig v);
+  ScenarioBuilder& clients_per_site(std::uint32_t v);
+  ScenarioBuilder& conflicts(double fraction);
+  ScenarioBuilder& think_time(Time v);
+  /// Appends a closed-loop phase starting at `at`.
+  ScenarioBuilder& closed_loop(Time at, std::uint32_t clients_per_site,
+                               Time think_us = 0);
+  /// Appends an open-loop phase: Poisson arrivals at `rate_tps` commands/s
+  /// (total across sites) starting at `at`.
+  ScenarioBuilder& open_loop(Time at, double rate_tps);
+
+  // Fault schedule.
+  ScenarioBuilder& crash(NodeId node, Time at);
+  ScenarioBuilder& recover(NodeId node, Time at);
+  ScenarioBuilder& partition(NodeId a, NodeId b, Time at);
+  ScenarioBuilder& heal(NodeId a, NodeId b, Time at);
+  ScenarioBuilder& fault(FaultEvent e);
+
+  // Protocol knobs.
+  ScenarioBuilder& caesar(core::CaesarConfig v);
+  ScenarioBuilder& epaxos(epaxos::EPaxosConfig v);
+  ScenarioBuilder& m2paxos(m2paxos::M2PaxosConfig v);
+  ScenarioBuilder& mencius(mencius::MenciusConfig v);
+  ScenarioBuilder& clockrsm(clockrsm::ClockRsmConfig v);
+  ScenarioBuilder& multipaxos(mpaxos::MultiPaxosConfig v);
+  ScenarioBuilder& multipaxos_leader(NodeId leader);
+
+  ScenarioBuilder& check_consistency(bool v);
+  ScenarioBuilder& timeline_bucket(Time v);
+  ScenarioBuilder& sample_stats_at(Time v);
+
+  /// Validates (throws std::invalid_argument on inconsistency) and returns
+  /// the scenario with faults and phases sorted by time.
+  Scenario build() const;
+
+ private:
+  Scenario s_;
+};
+
+/// Checks a scenario against its own topology: protocol knobs that index
+/// sites (Multi-Paxos leader, CAESAR fast-quorum override), fault-event
+/// targets, phase ordering and rates, warmup vs duration. Throws
+/// std::invalid_argument with a precise message on the first violation.
+void validate_scenario(const Scenario& s);
+
+/// Runs one scenario to completion. Deterministic in s.seed. Validates
+/// first (see validate_scenario).
+ExperimentResult run_scenario(const Scenario& s);
+
+// ---------------------------------------------------------------------------
+// Named scenario registry
+// ---------------------------------------------------------------------------
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  std::function<Scenario()> make;
+};
+
+/// Registers (or replaces) a named scenario.
+void register_scenario(ScenarioInfo info);
+
+bool has_scenario(std::string_view name);
+
+/// Instantiates a registered scenario. Throws std::invalid_argument naming
+/// the available scenarios when `name` is unknown.
+Scenario make_scenario(std::string_view name);
+
+/// All registered scenarios (built-ins included), sorted by name.
+std::vector<ScenarioInfo> list_scenarios();
+
+}  // namespace caesar::harness

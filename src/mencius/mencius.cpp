@@ -1,5 +1,7 @@
 #include "mencius/mencius.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace caesar::mencius {
@@ -20,6 +22,81 @@ void Mencius::start() {
   env_.set_timer(cfg_.heartbeat_us, [this] { heartbeat(); });
 }
 
+void Mencius::on_recover() {
+  // Restart the heartbeat chain (in-memory timers died with the crash).
+  start();
+  // Known limitation (no state transfer): slots committed by peers during
+  // the outage were missed, and the floor rule in try_deliver will treat
+  // them as skipped — this node's delivery log omits them (order stays
+  // consistent, but its store lags until those keys are written again).
+  // Catching up for real needs a log/state-transfer protocol (ROADMAP).
+  //
+  // Stale acceptor state: a slot we accepted before crashing blocks
+  // try_deliver ahead of the floor rule, waiting for a COMMIT that may have
+  // been broadcast during our outage and lost. Owners re-confirm genuinely
+  // pending slots (on_node_recovered re-ACCEPT) and replay recent COMMITs;
+  // after a grace period covering both, sweep whatever was not re-confirmed
+  // so one evicted COMMIT cannot wedge delivery forever. Clearing
+  // immediately instead would let owner floors skip live pending slots in
+  // the window before their re-ACCEPTs arrive.
+  const Time rejoined_at = env_.now();
+  env_.set_timer(cfg_.resync_grace_us, [this, rejoined_at] {
+    bool swept = false;
+    for (auto it = accepted_slots_.begin(); it != accepted_slots_.end();) {
+      if (it->second < rejoined_at) {
+        it = accepted_slots_.erase(it);
+        swept = true;
+      } else {
+        ++it;
+      }
+    }
+    if (swept) try_deliver();
+  });
+  // Re-propose every slot that was in flight when we crashed: the ACCEPTED
+  // replies sent during the outage were lost, and peers block delivery on an
+  // accepted-but-uncommitted slot forever. Slots are single-proposer, so
+  // re-broadcasting the same value is safe; acks are recounted from scratch.
+  for (auto& [slot, p] : pending_) p.ack_mask = 1ull << env_.id();
+  rebroadcast_pending();
+  // Likewise re-announce recent commits: a COMMIT broadcast just before the
+  // crash was dropped at every peer (the network drops in-flight traffic of
+  // a crashed sender), leaving them wedged on the accepted slot.
+  replay_recent_commits(kAllPeers);
+}
+
+void Mencius::replay_recent_commits(NodeId peer) {
+  for (const auto& [slot, cmd] : recent_commits_) {
+    net::Encoder e;
+    e.put_varint(slot);
+    cmd.encode(e);
+    e.put_varint(next_own_slot_);
+    if (peer == kAllPeers) {
+      env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+    } else {
+      env_.send(peer, kCommit, std::move(e));
+    }
+  }
+}
+
+void Mencius::rebroadcast_pending() {
+  for (auto& [slot, p] : pending_) {
+    net::Encoder e;
+    e.put_varint(slot);
+    p.cmd.encode(e);
+    e.put_varint(next_own_slot_);
+    env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
+  }
+}
+
+void Mencius::on_node_recovered(NodeId peer) {
+  // A rejoined peer missed our ACCEPTs (including any recovery re-announce
+  // from before it was back): offer the still-uncommitted slots again, and
+  // replay the recent commit window so slots it accepted just before its
+  // crash resolve instead of omitting.
+  rebroadcast_pending();
+  replay_recent_commits(peer);
+}
+
 void Mencius::heartbeat() {
   net::Encoder e;
   e.put_varint(next_own_slot_);
@@ -36,7 +113,7 @@ void Mencius::propose(rsm::Command cmd) {
   e.put_varint(slot);
   cmd.encode(e);
   e.put_varint(next_own_slot_);
-  pending_.emplace(slot, Pending{std::move(cmd), 1, env_.now()});
+  pending_.emplace(slot, Pending{std::move(cmd), 1ull << env_.id(), env_.now()});
   env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
   try_deliver();  // a 1-node cluster would commit immediately
   if (n_ == 1) {
@@ -62,7 +139,7 @@ void Mencius::handle_accept(NodeId from, net::Decoder& d) {
   const std::uint64_t slot = d.get_varint();
   rsm::Command cmd = rsm::Command::decode(d);
   (void)cmd;  // value re-arrives with COMMIT; acceptor log elided (no recovery)
-  accepted_slots_.emplace(slot, true);
+  accepted_slots_[slot] = env_.now();  // refresh: re-ACCEPTs re-confirm
   note_floor(from, d.get_varint());
   skip_own_slots_below(slot);
 
@@ -79,7 +156,8 @@ void Mencius::handle_accepted(NodeId from, net::Decoder& d) {
   auto it = pending_.find(slot);
   if (it != pending_.end()) {
     Pending& p = it->second;
-    if (++p.acks >= cq_) {
+    p.ack_mask |= 1ull << from;
+    if (static_cast<std::size_t>(std::popcount(p.ack_mask)) >= cq_) {
       if (stats_ != nullptr) {
         ++stats_->fast_decisions;
         stats_->propose_phase.record(env_.now() - p.start);
@@ -89,6 +167,8 @@ void Mencius::handle_accepted(NodeId from, net::Decoder& d) {
       p.cmd.encode(e);
       e.put_varint(next_own_slot_);  // only the sender's own floor: see floor_
       env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+      recent_commits_.emplace_back(slot, p.cmd);
+      if (recent_commits_.size() > kRecentCommits) recent_commits_.pop_front();
       committed_.emplace(slot, std::move(p.cmd));
       pending_.erase(it);
     }
@@ -102,7 +182,9 @@ void Mencius::handle_commit(NodeId from, net::Decoder& d) {
   note_floor(from, d.get_varint());
   skip_own_slots_below(slot);
   accepted_slots_.erase(slot);
-  committed_.emplace(slot, std::move(cmd));
+  // Duplicate COMMITs happen after a proposer recovery re-announce; an
+  // already-delivered slot must not re-enter the committed map.
+  if (slot >= next_deliver_) committed_.emplace(slot, std::move(cmd));
   try_deliver();
 }
 
@@ -146,10 +228,18 @@ void Mencius::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
     case kCommit:
       handle_commit(from, d);
       break;
-    case kFloor:
-      note_floor(from, d.get_varint());
+    case kFloor: {
+      const std::uint64_t floor = d.get_varint();
+      note_floor(from, floor);
+      // A peer floor far ahead of our own counter means we missed the slot
+      // frontier moving (we just rejoined after an outage, our counter
+      // frozen meanwhile): give up the stale unused slots so delivery is
+      // not blocked on us cluster-wide. The slack keeps mutual heartbeats
+      // from ratcheting idle nodes' counters upward indefinitely.
+      if (floor > next_own_slot_ + 2 * n_) skip_own_slots_below(floor);
       try_deliver();
       break;
+    }
     default:
       log::warn("mencius: unknown message type ", type);
   }

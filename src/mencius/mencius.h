@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
@@ -29,6 +31,10 @@ namespace caesar::mencius {
 struct MenciusConfig {
   /// Idle floor-announcement period.
   Time heartbeat_us = 25 * kMs;
+  /// After a rejoin, how long to wait for owners' re-ACCEPTs / COMMIT
+  /// replays before sweeping unconfirmed pre-crash accept entries (must
+  /// exceed the cluster's failure-detector retraction delay).
+  Time resync_grace_us = 2 * kSec;
 };
 
 class Mencius final : public rt::Protocol {
@@ -37,6 +43,8 @@ class Mencius final : public rt::Protocol {
           stats::ProtocolStats* stats);
 
   void start() override;
+  void on_recover() override;
+  void on_node_recovered(NodeId peer) override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   std::string_view name() const override { return "Mencius"; }
@@ -58,6 +66,10 @@ class Mencius final : public rt::Protocol {
   void handle_accepted(NodeId from, net::Decoder& d);
   void handle_commit(NodeId from, net::Decoder& d);
   void skip_own_slots_below(std::uint64_t slot);
+  void rebroadcast_pending();
+  /// Re-sends the recent commit window, to one peer or to everyone.
+  void replay_recent_commits(NodeId peer);
+  static constexpr NodeId kAllPeers = kNoNode;
   void note_floor(NodeId node, std::uint64_t floor);
   void try_deliver();
   void heartbeat();
@@ -75,17 +87,30 @@ class Mencius final : public rt::Protocol {
   /// was used rather than skipped — has already been seen, so "not in
   /// accepted_slots_ and below the floor" is a sound skip test.
   std::vector<std::uint64_t> floor_;
-  /// Slots known proposed (value in flight) but not yet committed.
-  std::unordered_map<std::uint64_t, bool> accepted_slots_;
+  /// Slots known proposed (value in flight) but not yet committed, with the
+  /// time the ACCEPT was last seen (recovery sweeps entries that are not
+  /// re-confirmed after a rejoin — see on_recover).
+  std::unordered_map<std::uint64_t, Time> accepted_slots_;
 
+  /// Distinct ackers as a bitmask: duplicate ACCEPTED replies (possible
+  /// after recovery re-broadcasts) must not double-count toward the quorum.
   struct Pending {
     rsm::Command cmd;
-    std::uint32_t acks = 1;  // self
+    std::uint64_t ack_mask = 0;
     Time start = 0;
   };
   std::unordered_map<std::uint64_t, Pending> pending_;  // coordinator side
   std::map<std::uint64_t, rsm::Command> committed_;
   std::uint64_t next_deliver_ = 0;
+
+  /// Recent own commits, kept so a recovering node can re-announce COMMITs
+  /// that were still in flight when it crashed (peers wedge on an
+  /// accepted-but-uncommitted slot otherwise). Only COMMITs broadcast within
+  /// one max-RTT of the crash can have been lost, so the ring must cover
+  /// ~RTT x per-node commit rate; 8192 covers ~300ms at ~25k commits/s per
+  /// node, beyond the saturation throughput of the bench workloads.
+  static constexpr std::size_t kRecentCommits = 8192;
+  std::deque<std::pair<std::uint64_t, rsm::Command>> recent_commits_;
 };
 
 }  // namespace caesar::mencius

@@ -1,5 +1,7 @@
 #include "multipaxos/multipaxos.h"
 
+#include <bit>
+
 namespace caesar::mpaxos {
 
 MultiPaxos::MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
@@ -13,15 +15,17 @@ void MultiPaxos::propose(rsm::Command cmd) {
   }
   net::Encoder e;
   cmd.encode(e);
+  forwarded_.emplace(cmd.id, std::move(cmd));
   env_.send(cfg_.leader, kForward, std::move(e));
 }
 
 void MultiPaxos::lead(rsm::Command cmd) {
+  led_ids_.insert(cmd.id);
   const std::uint64_t index = next_index_++;
   net::Encoder e;
   e.put_u64(index);
   cmd.encode(e);
-  pending_.emplace(index, Pending{std::move(cmd), 1, false});  // own ack
+  pending_.emplace(index, Pending{std::move(cmd), 1ull << env_.id()});
   env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
 }
 
@@ -29,14 +33,16 @@ void MultiPaxos::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
   switch (type) {
     case kForward: {
       rsm::Command cmd = rsm::Command::decode(d);
-      if (is_leader()) lead(std::move(cmd));
+      // led_ids_ dedups follower re-forwards after a leader recovery: the
+      // original may already be pending or recently committed here.
+      if (is_leader() && led_ids_.count(cmd.id) == 0) lead(std::move(cmd));
       return;
     }
     case kAccept:
       handle_accept(from, d);
       return;
     case kAccepted:
-      handle_accepted(d);
+      handle_accepted(from, d);
       return;
     case kCommit:
       handle_commit(d);
@@ -55,20 +61,27 @@ void MultiPaxos::handle_accept(NodeId from, net::Decoder& d) {
   env_.send(from, kAccepted, std::move(e));
 }
 
-void MultiPaxos::handle_accepted(net::Decoder& d) {
+void MultiPaxos::handle_accepted(NodeId from, net::Decoder& d) {
   if (!is_leader()) return;
   const std::uint64_t index = d.get_u64();
   auto it = pending_.find(index);
-  if (it == pending_.end() || it->second.committed) return;
+  if (it == pending_.end()) return;
   Pending& p = it->second;
-  ++p.acks;
-  if (p.acks < classic_quorum_size(env_.cluster_size())) return;
-  p.committed = true;
+  p.ack_mask |= 1ull << from;
+  if (static_cast<std::size_t>(std::popcount(p.ack_mask)) <
+      classic_quorum_size(env_.cluster_size())) {
+    return;
+  }
   if (stats_ != nullptr) ++stats_->fast_decisions;
   net::Encoder e;
   e.put_u64(index);
   p.cmd.encode(e);
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+  recent_commits_.emplace_back(index, p.cmd);
+  if (recent_commits_.size() > kRecentCommits) {
+    led_ids_.erase(recent_commits_.front().second.id);
+    recent_commits_.pop_front();
+  }
   committed_.emplace(index, std::move(p.cmd));
   pending_.erase(it);
   try_deliver();
@@ -76,13 +89,92 @@ void MultiPaxos::handle_accepted(net::Decoder& d) {
 
 void MultiPaxos::handle_commit(net::Decoder& d) {
   const std::uint64_t index = d.get_u64();
-  committed_.emplace(index, rsm::Command::decode(d));
+  rsm::Command cmd = rsm::Command::decode(d);
+  // Duplicate COMMITs arrive after a leader recovery re-announce; an
+  // already-delivered index must not re-enter the log.
+  if (index >= deliver_next_) committed_.emplace(index, std::move(cmd));
   try_deliver();
+}
+
+void MultiPaxos::rebroadcast_pending() {
+  for (auto& [index, p] : pending_) {
+    net::Encoder e;
+    e.put_u64(index);
+    p.cmd.encode(e);
+    env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
+  }
+}
+
+void MultiPaxos::on_recover() {
+  if (!is_leader()) {
+    // Buffer COMMITs for a grace period covering the leader's
+    // fd-retraction-delayed replay, then jump the delivery watermark to the
+    // earliest buffered index: the replay shrinks the outage gap as far as
+    // its ring reaches; whatever is older is omitted (no state transfer —
+    // order stays consistent, see ROADMAP).
+    resync_ = true;
+    env_.set_timer(cfg_.resync_grace_us, [this] {
+      if (!resync_) return;
+      resync_ = false;
+      auto first = committed_.lower_bound(deliver_next_);
+      if (first != committed_.end() && first->first > deliver_next_) {
+        deliver_next_ = first->first;
+      }
+      try_deliver();
+    });
+    return;
+  }
+  // ACCEPTED and COMMIT traffic in flight at the crash was dropped, so
+  // uncommitted log entries would gap the log forever and recently
+  // committed ones may be unknown to every learner. Re-drive both; entries
+  // are single-proposer (one stable leader), so re-broadcasting is safe
+  // and the ack bitmask keeps duplicate replies from double-counting.
+  for (auto& [index, p] : pending_) {
+    p.ack_mask = 1ull << env_.id();
+  }
+  rebroadcast_pending();
+  replay_recent_commits(kAllPeers);
+}
+
+void MultiPaxos::replay_recent_commits(NodeId peer) {
+  for (const auto& [index, cmd] : recent_commits_) {
+    net::Encoder e;
+    e.put_u64(index);
+    cmd.encode(e);
+    if (peer == kAllPeers) {
+      env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+    } else {
+      env_.send(peer, kCommit, std::move(e));
+    }
+  }
+}
+
+void MultiPaxos::on_node_recovered(NodeId peer) {
+  if (!is_leader()) {
+    // The recovered leader's queue dropped our forwards sent while it was
+    // down: re-forward everything still outstanding (led_ids_ dedups the
+    // ones it did manage to lead before crashing).
+    if (peer == cfg_.leader) {
+      for (const auto& [id, cmd] : forwarded_) {
+        net::Encoder e;
+        cmd.encode(e);
+        env_.send(cfg_.leader, kForward, std::move(e));
+      }
+    }
+    return;
+  }
+  // A rejoined acceptor missed ACCEPTs sent while it was down (including
+  // recovery re-broadcasts from before it was back): offer the still
+  // uncommitted entries again so quorums can form, and replay the recent
+  // commit window so its log resumes with the smallest possible gap.
+  rebroadcast_pending();
+  replay_recent_commits(peer);
 }
 
 void MultiPaxos::try_deliver() {
   auto it = committed_.find(deliver_next_);
   while (it != committed_.end()) {
+    forwarded_.erase(it->second.id);  // our forward completed its round trip
     deliver_(it->second);
     committed_.erase(it);
     ++deliver_next_;

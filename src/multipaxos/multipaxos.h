@@ -12,8 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
@@ -22,6 +25,11 @@ namespace caesar::mpaxos {
 
 struct MultiPaxosConfig {
   NodeId leader = 0;
+  /// After a follower rejoin, how long to buffer COMMITs before jumping the
+  /// delivery watermark past the outage gap — long enough for the leader's
+  /// fd-retraction-delayed commit replay to arrive and shrink the gap (must
+  /// exceed the cluster's failure-detector delay).
+  Time resync_grace_us = 2 * kSec;
 };
 
 class MultiPaxos final : public rt::Protocol {
@@ -31,6 +39,8 @@ class MultiPaxos final : public rt::Protocol {
 
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  void on_recover() override;
+  void on_node_recovered(NodeId peer) override;
   std::string_view name() const override { return "MultiPaxos"; }
 
   bool is_leader() const { return env_.id() == cfg_.leader; }
@@ -45,25 +55,49 @@ class MultiPaxos final : public rt::Protocol {
 
   void lead(rsm::Command cmd);
   void handle_accept(NodeId from, net::Decoder& d);
-  void handle_accepted(net::Decoder& d);
+  void handle_accepted(NodeId from, net::Decoder& d);
   void handle_commit(net::Decoder& d);
   void try_deliver();
+  void rebroadcast_pending();
+  /// Re-sends the recent commit window, to one peer or to everyone.
+  void replay_recent_commits(NodeId peer);
+  static constexpr NodeId kAllPeers = kNoNode;
 
   MultiPaxosConfig cfg_;
   stats::ProtocolStats* stats_;
 
-  // Leader bookkeeping: acks per in-flight index.
+  // Leader bookkeeping: distinct ackers per in-flight index (a bitmask so
+  // duplicate ACCEPTED replies, possible after recovery re-broadcasts,
+  // never double-count toward the quorum).
   struct Pending {
     rsm::Command cmd;
-    std::uint32_t acks = 0;
-    bool committed = false;
+    std::uint64_t ack_mask = 0;
   };
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_index_ = 0;
+  /// Commands this leader has led, kept while they are pending or inside
+  /// the recent-commit window: dedups re-forwards after a leader recovery.
+  std::unordered_set<CmdId> led_ids_;
+
+  /// Follower bookkeeping: commands forwarded to the leader and not yet
+  /// delivered. Re-forwarded when the leader rejoins after a crash (the
+  /// originals died in its queue; see on_node_recovered).
+  std::unordered_map<CmdId, rsm::Command> forwarded_;
 
   // Learner state (all nodes): chosen log and delivery watermark.
   std::map<std::uint64_t, rsm::Command> committed_;
   std::uint64_t deliver_next_ = 0;
+  /// Set on a follower by on_recover: COMMITs buffer for a grace period
+  /// (letting the leader's replay shrink the outage gap), then the delivery
+  /// watermark jumps past whatever gap remains instead of wedging on it.
+  bool resync_ = false;
+
+  /// Recent own commits (leader only), re-announced by on_recover: a COMMIT
+  /// in flight when the leader crashed was dropped at every learner, which
+  /// would leave a permanent gap in their logs. Bounded: only COMMITs from
+  /// within one max-RTT of the crash can have been lost.
+  static constexpr std::size_t kRecentCommits = 8192;
+  std::deque<std::pair<std::uint64_t, rsm::Command>> recent_commits_;
 };
 
 }  // namespace caesar::mpaxos

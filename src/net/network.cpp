@@ -11,8 +11,12 @@ Network::Network(sim::Simulator& sim, Topology topo, NetworkConfig cfg)
       cfg_(cfg),
       sinks_(topo_.size()),
       crashed_(topo_.size(), false),
+      incarnation_(topo_.size(), 0),
       link_up_(topo_.size(), std::vector<bool>(topo_.size(), true)),
       last_arrival_(topo_.size(), std::vector<Time>(topo_.size(), 0)),
+      held_(topo_.size(),
+            std::vector<std::vector<
+                std::shared_ptr<const std::vector<std::byte>>>>(topo_.size())),
       rng_(sim.rng().fork()) {}
 
 void Network::set_sink(NodeId node, Sink sink) {
@@ -38,16 +42,33 @@ void Network::send(NodeId from, NodeId to,
                    std::shared_ptr<const std::vector<std::byte>> payload) {
   assert(from < topo_.size() && to < topo_.size());
   bytes_sent_ += payload->size() + cfg_.overhead_bytes;
-  if (crashed_[from] || crashed_[to] || !link_up_[from][to]) {
+  if (crashed_[from] || crashed_[to]) {
     ++messages_dropped_;
     return;
   }
+  if (!link_up_[from][to]) {
+    // Transient partition: the sender's transport keeps retransmitting, so
+    // the message is parked and released when the link heals.
+    held_[from][to].push_back(std::move(payload));
+    ++messages_held_;
+    return;
+  }
+  deliver(from, to, std::move(payload));
+}
+
+void Network::deliver(NodeId from, NodeId to,
+                      std::shared_ptr<const std::vector<std::byte>> payload) {
   Time arrival = sim_.now() + delay_for(from, to, payload->size());
   // FIFO per link: never deliver before an earlier message on this link.
   arrival = std::max(arrival, last_arrival_[from][to] + 1);
   last_arrival_[from][to] = arrival;
-  sim_.at(arrival, [this, from, to, payload = std::move(payload)]() mutable {
-    if (crashed_[to] || crashed_[from]) {
+  sim_.at(arrival, [this, from, to, payload = std::move(payload),
+                    inc_from = incarnation_[from],
+                    inc_to = incarnation_[to]]() mutable {
+    // Either endpoint crashed meanwhile (even if it already recovered:
+    // traffic of a dead incarnation must not reach the new one) -> lost.
+    if (crashed_[to] || crashed_[from] || incarnation_[from] != inc_from ||
+        incarnation_[to] != inc_to) {
       ++messages_dropped_;
       return;
     }
@@ -56,14 +77,47 @@ void Network::send(NodeId from, NodeId to,
   });
 }
 
+void Network::release_held(NodeId from, NodeId to) {
+  auto& queue = held_[from][to];
+  if (queue.empty()) return;
+  messages_held_ -= queue.size();
+  for (auto& payload : queue) {
+    if (crashed_[from] || crashed_[to]) {
+      ++messages_dropped_;
+      continue;
+    }
+    deliver(from, to, std::move(payload));
+  }
+  queue.clear();
+}
+
 void Network::crash_node(NodeId node) {
   assert(node < crashed_.size());
   crashed_[node] = true;
+  ++incarnation_[node];
+  // Crash-stop drops queued traffic too: messages parked on cut links
+  // from/to this node must not resurface after a recover + heal.
+  for (NodeId peer = 0; peer < topo_.size(); ++peer) {
+    for (auto* queue : {&held_[node][peer], &held_[peer][node]}) {
+      messages_held_ -= queue->size();
+      messages_dropped_ += queue->size();
+      queue->clear();
+    }
+  }
+}
+
+void Network::recover_node(NodeId node) {
+  assert(node < crashed_.size());
+  crashed_[node] = false;
 }
 
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
   link_up_[a][b] = up;
   link_up_[b][a] = up;
+  if (up) {
+    release_held(a, b);
+    release_held(b, a);
+  }
 }
 
 }  // namespace caesar::net

@@ -23,13 +23,37 @@ void Cluster::start() {
   for (auto& node : nodes_) node->protocol().start();
 }
 
+void Cluster::recover(NodeId id) {
+  if (!nodes_[id]->crashed()) return;
+  nodes_[id]->recover();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (i == id || nodes_[i]->crashed()) continue;
+    Node* peer = nodes_[i].get();
+    sim_.after(cfg_.fd_timeout_us, [this, peer, id] {
+      // Re-check the subject too: it may have crashed again meanwhile.
+      if (!peer->crashed() && !nodes_[id]->crashed()) {
+        peer->protocol().on_node_recovered(id);
+      }
+    });
+  }
+}
+
+void Cluster::set_link(NodeId a, NodeId b, bool up) {
+  net_.set_link_up(a, b, up);
+}
+
 void Cluster::crash(NodeId id) {
   nodes_[id]->crash();
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (i == id || nodes_[i]->crashed()) continue;
     Node* peer = nodes_[i].get();
-    sim_.after(cfg_.fd_timeout_us, [peer, id] {
-      if (!peer->crashed()) peer->protocol().on_node_suspected(id);
+    sim_.after(cfg_.fd_timeout_us, [this, peer, id] {
+      // Suspicion is retracted if the subject recovered within the timeout:
+      // a live node must not be treated as failed (protocols would start
+      // recovering its in-flight commands against the live owner).
+      if (!peer->crashed() && nodes_[id]->crashed()) {
+        peer->protocol().on_node_suspected(id);
+      }
     });
   }
 }

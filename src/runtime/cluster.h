@@ -41,6 +41,15 @@ class Cluster {
   /// Crashes `id` now and schedules suspicion upcalls on all live nodes.
   void crash(NodeId id);
 
+  /// Restarts a crashed `id` (state intact, as if from stable storage) and
+  /// schedules suspicion-retraction upcalls on all live nodes after the same
+  /// failure-detector delay. No-op if `id` is not crashed.
+  void recover(NodeId id);
+
+  /// Cuts (up=false) or restores (up=true) both directions of the a<->b
+  /// link — the cluster-level handle fault schedules use for partitions.
+  void set_link(NodeId a, NodeId b, bool up);
+
  private:
   sim::Simulator& sim_;
   net::Network net_;

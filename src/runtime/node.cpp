@@ -46,8 +46,10 @@ void Node::broadcast(std::uint16_t type, net::Encoder body, bool include_self) {
 }
 
 sim::EventId Node::set_timer(Time delay, std::function<void()> fn) {
-  return sim_.after(delay, [this, fn = std::move(fn)] {
-    if (!crashed_) fn();
+  // The epoch fence makes a crash drop every in-memory timer for good: a
+  // timer armed before the crash must not fire after a recover().
+  return sim_.after(delay, [this, fn = std::move(fn), epoch = epoch_] {
+    if (!crashed_ && epoch == epoch_) fn();
   });
 }
 
@@ -95,7 +97,12 @@ void Node::run_next() {
   task.fn();
   const Time service = task.service + extra_charge_;
   busy_time_ += service;
-  sim_.after(service, [this] { run_next(); });
+  // Epoch-fenced like timers: a service completion scheduled before a crash
+  // must not resume the CPU loop after a recover(), or the node would run
+  // two concurrent service chains.
+  sim_.after(service, [this, epoch = epoch_] {
+    if (epoch == epoch_) run_next();
+  });
 }
 
 void Node::submit(rsm::Command cmd) {
@@ -141,12 +148,21 @@ void Node::flush_batch() {
 void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
+  ++epoch_;  // invalidates every pending timer and the CPU service chain
   queue_.clear();
   busy_ = false;
   batch_.clear();
   batch_ops_ = 0;
   net_.crash_node(id_);
   log::info("node ", id_, " crashed at t=", sim_.now());
+}
+
+void Node::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_.recover_node(id_);
+  log::info("node ", id_, " recovered at t=", sim_.now());
+  protocol_->on_recover();
 }
 
 }  // namespace caesar::rt

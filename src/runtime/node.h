@@ -49,6 +49,10 @@ class Node final : public Env {
 
   /// Crash-stop. Drops queued work, stops timers firing, severs the network.
   void crash();
+  /// Rejoins after a crash with protocol state intact (models a restart from
+  /// stable storage). Queued work and every in-memory timer died with the
+  /// crash; the protocol's on_recover() hook restarts its periodic timers.
+  void recover();
   bool crashed() const { return crashed_; }
 
   // --- Env interface -------------------------------------------------------
@@ -83,6 +87,9 @@ class Node final : public Env {
   std::unique_ptr<Protocol> protocol_;
   Rng rng_;
   bool crashed_ = false;
+  /// Bumped on every crash; fences out timers and CPU-chain continuations
+  /// armed in a previous incarnation (see set_timer / run_next).
+  std::uint64_t epoch_ = 0;
 
   struct Task {
     std::function<void()> fn;

@@ -84,6 +84,16 @@ class Protocol {
   /// Failure-detector upcall: `peer` is suspected to have crashed.
   virtual void on_node_suspected(NodeId peer) { (void)peer; }
 
+  /// Failure-detector retraction: a previously suspected peer is reachable
+  /// again (it recovered with its durable state intact).
+  virtual void on_node_recovered(NodeId peer) { (void)peer; }
+
+  /// Called on this node after it recovers from a crash with its state
+  /// intact. In-memory timers died with the crash, so the default restarts
+  /// the periodic chains by re-running start(); protocols whose start() has
+  /// one-shot side effects must override.
+  virtual void on_recover() { start(); }
+
   virtual std::string_view name() const = 0;
 
  protected:

@@ -1,37 +1,114 @@
 #include "workload/client_pool.h"
 
-#include <cassert>
+#include <algorithm>
+#include <cmath>
 
 namespace caesar::wl {
 
+namespace {
+/// Global client-id base for per-site open-loop key choosers, far above any
+/// closed-loop client id so private key ranges stay disjoint.
+constexpr std::uint64_t kOpenChooserBase = 1ull << 20;
+}  // namespace
+
 ClientPool::ClientPool(sim::Simulator& sim, rt::Cluster& cluster,
-                       WorkloadConfig cfg, Rng rng)
-    : sim_(sim), cluster_(cluster), cfg_(cfg), rng_(std::move(rng)) {
+                       WorkloadConfig cfg, Rng rng,
+                       std::vector<PhaseSpec> phases)
+    : sim_(sim),
+      cluster_(cluster),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    phases_.push_back(
+        PhaseSpec::closed_loop(0, cfg_.clients_per_site, cfg_.think_us));
+  }
+  max_clients_per_site_ = 0;
+  for (const PhaseSpec& p : phases_) {
+    if (p.mode == PhaseSpec::Mode::kClosedLoop) {
+      max_clients_per_site_ = std::max(max_clients_per_site_, p.clients_per_site);
+    }
+  }
+
   const std::size_t sites = cluster_.size();
-  clients_.reserve(sites * cfg_.clients_per_site);
+  clients_.reserve(sites * max_clients_per_site_);
   std::uint64_t global_id = 0;
   for (NodeId site = 0; site < sites; ++site) {
-    for (std::uint32_t i = 0; i < cfg_.clients_per_site; ++i) {
+    for (std::uint32_t i = 0; i < max_clients_per_site_; ++i) {
       clients_.push_back(Client{
           site,
           KeyChooser(cfg_.conflict_fraction, cfg_.shared_pool_size, global_id),
-          0, 0, false});
+          0});
       ++global_id;
+    }
+  }
+  open_choosers_.reserve(sites);
+  for (NodeId site = 0; site < sites; ++site) {
+    open_choosers_.push_back(KeyChooser(
+        cfg_.conflict_fraction, cfg_.shared_pool_size, kOpenChooserBase + site));
+  }
+}
+
+std::size_t ClientPool::active_client_count() const {
+  return mode_ == PhaseSpec::Mode::kClosedLoop
+             ? cluster_.size() * active_per_site_
+             : 0;
+}
+
+bool ClientPool::client_active(std::uint32_t client_idx) const {
+  return mode_ == PhaseSpec::Mode::kClosedLoop && max_clients_per_site_ > 0 &&
+         client_idx % max_clients_per_site_ < active_per_site_;
+}
+
+NodeId ClientPool::live_site_for(NodeId preferred) const {
+  if (!cluster_.node(preferred).crashed()) return preferred;
+  for (std::size_t step = 1; step < cluster_.size(); ++step) {
+    const NodeId cand =
+        static_cast<NodeId>((preferred + step) % cluster_.size());
+    if (!cluster_.node(cand).crashed()) return cand;
+  }
+  return kNoNode;
+}
+
+void ClientPool::start() {
+  for (const PhaseSpec& p : phases_) {
+    if (p.at <= sim_.now()) {
+      enter_phase(p);
+    } else {
+      sim_.at(p.at, [this, p] { enter_phase(p); });
     }
   }
 }
 
-void ClientPool::start() {
-  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
-    // Small stagger so all clients do not fire in the same microsecond.
-    sim_.after(static_cast<Time>(rng_.uniform_int(1000)),
-               [this, i] { submit_next(i); });
+void ClientPool::enter_phase(const PhaseSpec& phase) {
+  ++gen_;
+  mode_ = phase.mode;
+  if (phase.mode == PhaseSpec::Mode::kClosedLoop) {
+    active_per_site_ = std::min(phase.clients_per_site, max_clients_per_site_);
+    think_us_ = phase.think_us;
+    arrival_rate_tps_ = 0.0;
+    // Kick every active, idle client. Clients still waiting on an in-flight
+    // request resume their loop when it completes.
+    for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+      if (!client_active(i) || clients_[i].pending != 0) continue;
+      // Small stagger so all clients do not fire in the same microsecond.
+      const std::uint64_t gen = gen_;
+      sim_.after(static_cast<Time>(rng_.uniform_int(1000)), [this, i, gen] {
+        if (gen == gen_) submit_next(i);
+      });
+    }
+  } else {
+    active_per_site_ = 0;
+    arrival_rate_tps_ = phase.arrival_rate_tps;
+    for (NodeId site = 0; site < cluster_.size(); ++site) {
+      schedule_arrival(site, gen_);
+    }
   }
 }
 
 void ClientPool::submit_next(std::uint32_t client_idx) {
   Client& c = clients_[client_idx];
-  if (c.stopped) return;
+  if (!client_active(client_idx) || c.pending != 0) return;
   rt::Node& node = cluster_.node(c.home);
   if (node.crashed()) return;  // on_node_crashed will reassign us
 
@@ -43,10 +120,38 @@ void ClientPool::submit_next(std::uint32_t client_idx) {
   cmd.ops.push_back(op);
 
   c.pending = op.req;
-  c.submit_time = sim_.now();
-  pending_[op.req] = client_idx;
+  pending_[op.req] = Inflight{client_idx, c.home, sim_.now()};
   ++submitted_;
   node.submit(std::move(cmd));
+}
+
+void ClientPool::schedule_arrival(NodeId site, std::uint64_t gen) {
+  if (arrival_rate_tps_ <= 0.0) return;
+  const double mean_us = static_cast<double>(cluster_.size()) *
+                         static_cast<double>(kSec) / arrival_rate_tps_;
+  const Time delay =
+      std::max<Time>(1, static_cast<Time>(std::llround(rng_.exponential(mean_us))));
+  sim_.after(delay, [this, site, gen] {
+    if (gen != gen_) return;  // a later phase superseded this chain
+    open_submit(site);
+    schedule_arrival(site, gen);
+  });
+}
+
+void ClientPool::open_submit(NodeId site) {
+  const NodeId target = live_site_for(site);
+  if (target == kNoNode) return;  // whole cluster down; drop the arrival
+
+  rsm::Command cmd;
+  rsm::Op op;
+  op.key = open_choosers_[site].next(rng_);
+  op.req = make_req_id(target, ++req_counter_);
+  op.value = req_counter_;
+  cmd.ops.push_back(op);
+
+  pending_[op.req] = Inflight{kOpenLoopClient, target, sim_.now()};
+  ++submitted_;
+  cluster_.node(target).submit(std::move(cmd));
 }
 
 void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
@@ -54,17 +159,23 @@ void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
     if (req_origin(op.req) != node) continue;  // completes at origin site only
     auto it = pending_.find(op.req);
     if (it == pending_.end()) continue;  // resubmitted elsewhere meanwhile
-    const std::uint32_t idx = it->second;
+    const Inflight inflight = it->second;
     pending_.erase(it);
-    Client& c = clients_[idx];
-    if (c.pending != op.req) continue;
-    c.pending = 0;
     ++completed_;
     if (hook_) {
-      hook_(Completion{op.req, node, c.submit_time, sim_.now()});
+      hook_(Completion{op.req, inflight.site, inflight.submit_time, sim_.now()});
     }
-    if (cfg_.think_us > 0) {
-      sim_.after(cfg_.think_us, [this, idx] { submit_next(idx); });
+    if (inflight.client == kOpenLoopClient) continue;
+
+    Client& c = clients_[inflight.client];
+    if (c.pending == op.req) c.pending = 0;
+    const std::uint32_t idx = inflight.client;
+    if (!client_active(idx)) continue;  // mode or phase changed mid-flight
+    if (think_us_ > 0) {
+      const std::uint64_t gen = gen_;
+      sim_.after(think_us_, [this, idx, gen] {
+        if (gen == gen_) submit_next(idx);
+      });
     } else {
       submit_next(idx);
     }
@@ -74,7 +185,7 @@ void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
 void ClientPool::on_node_crashed(NodeId node) {
   // Clients of the crashed site reconnect to the next live site after a
   // timeout (paper Fig 12: "clients from that node timeout and reconnect to
-  // other nodes").
+  // other nodes"). Open-loop arrival chains divert at submit time instead.
   for (std::uint32_t i = 0; i < clients_.size(); ++i) {
     Client& c = clients_[i];
     if (c.home != node) continue;
@@ -82,16 +193,29 @@ void ClientPool::on_node_crashed(NodeId node) {
       pending_.erase(c.pending);
       c.pending = 0;
     }
-    NodeId target = node;
-    for (std::size_t step = 1; step <= cluster_.size(); ++step) {
-      const NodeId cand = static_cast<NodeId>((node + step) % cluster_.size());
-      if (!cluster_.node(cand).crashed()) {
-        target = cand;
-        break;
-      }
-    }
-    assert(target != node && "no live node to reconnect to");
+    const NodeId target = live_site_for(
+        static_cast<NodeId>((node + 1) % cluster_.size()));
+    if (target == kNoNode) continue;  // whole cluster down; see on_node_recovered
     c.home = target;
+    sim_.after(cfg_.reconnect_delay_us, [this, i] { submit_next(i); });
+  }
+  // Open-loop requests routed to the crashed site died with its queue; drop
+  // their in-flight records so the map does not grow without bound across
+  // repeated faults (open loop never retries — the arrival was lost).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.client == kOpenLoopClient && it->second.site == node) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClientPool::on_node_recovered(NodeId node) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
+    if (!cluster_.node(c.home).crashed()) continue;  // running normally
+    c.home = node;
     sim_.after(cfg_.reconnect_delay_us, [this, i] { submit_next(i); });
   }
 }

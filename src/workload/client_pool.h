@@ -1,10 +1,20 @@
-// Closed-loop client pools, mirroring the paper's measurement methodology
-// (§VI): clients co-located with each site submit a command, wait until their
-// local replica delivers it, then immediately submit the next one.
+// Client pools driving the cluster, mirroring the paper's measurement
+// methodology (§VI) and extending it with scenario-composable phases:
+//
+//   * closed loop (the paper's default): clients co-located with each site
+//     submit a command, wait until their local replica delivers it, then —
+//     after an optional think time — immediately submit the next one;
+//   * open loop: Poisson arrivals at a configured total rate, spread evenly
+//     across sites, independent of completions (models external traffic that
+//     does not back off when the system slows down).
+//
+// A pool runs an ordered list of phases and switches mode/parameters mid-run
+// at each phase boundary, which is how scenarios express load ramps.
 //
 // The pool also implements the Fig 12 failover behaviour: when a node
 // crashes, its clients time out and reconnect to the next live site,
-// resubmitting their in-flight request under a fresh request id.
+// resubmitting their in-flight request under a fresh request id. Open-loop
+// arrivals destined for a crashed site divert to the next live one.
 #pragma once
 
 #include <cstdint>
@@ -27,10 +37,43 @@ struct WorkloadConfig {
   Time reconnect_delay_us = 2 * kSec;
 };
 
+/// One segment of a phased workload. Phases are applied in order of `at`;
+/// the first phase usually starts at 0.
+struct PhaseSpec {
+  enum class Mode { kClosedLoop, kOpenLoop };
+
+  Time at = 0;
+  Mode mode = Mode::kClosedLoop;
+  /// Closed loop: active clients per site and per-request think time.
+  std::uint32_t clients_per_site = 10;
+  Time think_us = 0;
+  /// Open loop: total Poisson arrival rate (commands/second) summed over
+  /// all sites.
+  double arrival_rate_tps = 0.0;
+
+  static PhaseSpec closed_loop(Time at, std::uint32_t clients_per_site,
+                               Time think_us = 0) {
+    PhaseSpec p;
+    p.at = at;
+    p.mode = Mode::kClosedLoop;
+    p.clients_per_site = clients_per_site;
+    p.think_us = think_us;
+    return p;
+  }
+
+  static PhaseSpec open_loop(Time at, double arrival_rate_tps) {
+    PhaseSpec p;
+    p.at = at;
+    p.mode = Mode::kOpenLoop;
+    p.arrival_rate_tps = arrival_rate_tps;
+    return p;
+  }
+};
+
 /// One completed request, reported to the completion hook.
 struct Completion {
   ReqId req = 0;
-  NodeId site = kNoNode;  // site the client was connected to at submit time
+  NodeId site = kNoNode;  // site the request was submitted to
   Time submit_time = 0;
   Time complete_time = 0;
 };
@@ -39,12 +82,14 @@ class ClientPool {
  public:
   using CompletionHook = std::function<void(const Completion&)>;
 
+  /// With an empty `phases` the pool runs a single closed-loop phase built
+  /// from `cfg` (clients_per_site/think_us), i.e. the paper's methodology.
   ClientPool(sim::Simulator& sim, rt::Cluster& cluster, WorkloadConfig cfg,
-             Rng rng);
+             Rng rng, std::vector<PhaseSpec> phases = {});
 
   void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
 
-  /// Starts every client (submits its first request).
+  /// Enters the first phase and schedules the later phase switches.
   void start();
 
   /// Must be called from the cluster's delivery hook for every delivery.
@@ -54,29 +99,59 @@ class ClientPool {
   /// delay; their in-flight requests are resubmitted with fresh ids.
   void on_node_crashed(NodeId node);
 
+  /// Revives clients left parked on a crashed home (possible only if the
+  /// whole cluster was down at their reconnect attempt): they reconnect to
+  /// the recovered node after the reconnect delay.
+  void on_node_recovered(NodeId node);
+
   std::uint64_t completed() const { return completed_; }
   std::uint64_t submitted() const { return submitted_; }
   std::size_t client_count() const { return clients_.size(); }
+  /// Closed-loop clients currently allowed to submit (varies by phase).
+  std::size_t active_client_count() const;
 
  private:
+  static constexpr std::uint32_t kOpenLoopClient = 0xFFFF'FFFFu;
+
   struct Client {
-    NodeId home = kNoNode;     // current connection
+    NodeId home = kNoNode;  // current connection
     KeyChooser chooser;
     ReqId pending = 0;
-    Time submit_time = 0;
-    bool stopped = false;
   };
 
+  struct Inflight {
+    std::uint32_t client = kOpenLoopClient;
+    NodeId site = kNoNode;
+    Time submit_time = 0;
+  };
+
+  bool client_active(std::uint32_t client_idx) const;
+  NodeId live_site_for(NodeId preferred) const;
+  void enter_phase(const PhaseSpec& phase);
   void submit_next(std::uint32_t client_idx);
+  void schedule_arrival(NodeId site, std::uint64_t gen);
+  void open_submit(NodeId site);
 
   sim::Simulator& sim_;
   rt::Cluster& cluster_;
   WorkloadConfig cfg_;
   Rng rng_;
   CompletionHook hook_;
+  std::vector<PhaseSpec> phases_;
   std::vector<Client> clients_;
-  /// In-flight request -> client index.
-  std::unordered_map<ReqId, std::uint32_t> pending_;
+  std::vector<KeyChooser> open_choosers_;  // one per site
+  /// In-flight request -> submitter.
+  std::unordered_map<ReqId, Inflight> pending_;
+
+  PhaseSpec::Mode mode_ = PhaseSpec::Mode::kClosedLoop;
+  std::uint32_t max_clients_per_site_ = 0;
+  std::uint32_t active_per_site_ = 0;
+  Time think_us_ = 0;
+  double arrival_rate_tps_ = 0.0;
+  /// Bumped on every phase switch; invalidates stale open-loop arrival
+  /// chains and deferred closed-loop submissions.
+  std::uint64_t gen_ = 0;
+
   std::uint64_t req_counter_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t submitted_ = 0;

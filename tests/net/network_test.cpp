@@ -80,7 +80,7 @@ TEST_F(NetworkTest, InFlightMessagesToCrashedNodeDropped) {
   EXPECT_TRUE(inbox_[1].empty());
 }
 
-TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+TEST_F(NetworkTest, PartitionHoldsBothDirectionsUntilHeal) {
   net_.set_link_up(0, 1, false);
   net_.send(0, 1, payload_of_size(4));
   net_.send(1, 0, payload_of_size(4));
@@ -89,11 +89,44 @@ TEST_F(NetworkTest, PartitionBlocksBothDirections) {
   EXPECT_TRUE(inbox_[1].empty());
   EXPECT_TRUE(inbox_[0].empty());
   EXPECT_EQ(inbox_[2].size(), 1u);
+  EXPECT_EQ(net_.messages_held(), 2u);
 
+  // Healing the link releases the held traffic (TCP retransmission across a
+  // transient partition), ahead of anything sent afterwards.
   net_.set_link_up(0, 1, true);
   net_.send(0, 1, payload_of_size(4));
   sim_.run();
-  EXPECT_EQ(inbox_[1].size(), 1u);
+  EXPECT_EQ(net_.messages_held(), 0u);
+  EXPECT_EQ(inbox_[1].size(), 2u);
+  EXPECT_EQ(inbox_[0].size(), 1u);
+}
+
+TEST_F(NetworkTest, HeldMessagesToCrashedNodeAreDroppedOnHeal) {
+  net_.set_link_up(0, 1, false);
+  net_.send(0, 1, payload_of_size(4));
+  sim_.run();
+  net_.crash_node(1);
+  net_.set_link_up(0, 1, true);
+  sim_.run();
+  EXPECT_TRUE(inbox_[1].empty());
+  EXPECT_EQ(net_.messages_held(), 0u);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, CrashPurgesHeldTrafficOfTheDeadIncarnation) {
+  // A message parked on a cut link belongs to the sender's pre-crash
+  // incarnation; it must not resurface after the sender recovers and the
+  // link heals (crash-stop drops queued traffic).
+  net_.set_link_up(0, 1, false);
+  net_.send(1, 0, payload_of_size(4));
+  sim_.run();
+  net_.crash_node(1);
+  EXPECT_EQ(net_.messages_held(), 0u);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+  net_.recover_node(1);
+  net_.set_link_up(0, 1, true);
+  sim_.run();
+  EXPECT_TRUE(inbox_[0].empty());
 }
 
 TEST_F(NetworkTest, LargerPayloadsTakeLonger) {

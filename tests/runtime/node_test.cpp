@@ -105,6 +105,35 @@ TEST(NodeTest, CrashedNodeStopsProcessing) {
   EXPECT_EQ(f.delivered[2].size(), 1u);
 }
 
+TEST(NodeTest, RecoveredNodeProcessesAgainWithStateIntact) {
+  Fixture f(3);
+  f.cluster->node(0).submit(f.one_op_cmd(5));
+  f.sim.run();
+  ASSERT_EQ(f.delivered[2].size(), 1u);
+
+  f.cluster->crash(2);
+  f.cluster->node(0).submit(f.one_op_cmd(6));
+  f.sim.run();
+  EXPECT_EQ(f.delivered[2].size(), 1u);  // down: the second command is lost
+
+  f.cluster->recover(2);
+  EXPECT_FALSE(f.cluster->node(2).crashed());
+  f.cluster->node(0).submit(f.one_op_cmd(7));
+  f.cluster->node(2).submit(f.one_op_cmd(8));
+  f.sim.run();
+  // Rejoined: receives new traffic and can lead proposals again.
+  EXPECT_EQ(f.delivered[2].size(), 3u);
+  EXPECT_EQ(f.delivered[0].size(), 4u);
+}
+
+TEST(NodeTest, RecoverIsNoOpOnLiveNode) {
+  Fixture f(3);
+  f.cluster->recover(1);
+  f.cluster->node(0).submit(f.one_op_cmd(5));
+  f.sim.run();
+  EXPECT_EQ(f.delivered[1].size(), 1u);
+}
+
 TEST(NodeTest, FailureDetectorFiresAfterTimeout) {
   sim::Simulator sim(7);
   ClusterConfig cfg;

@@ -48,7 +48,8 @@ TEST(KeyChooserTest, DistinctClientsHaveDisjointPrivateKeys) {
 }
 
 struct PoolFixture {
-  explicit PoolFixture(WorkloadConfig wcfg, std::uint64_t seed = 5)
+  explicit PoolFixture(WorkloadConfig wcfg, std::uint64_t seed = 5,
+                       std::vector<PhaseSpec> phases = {})
       : sim(seed) {
     rt::ClusterConfig ccfg;
     cluster = std::make_unique<rt::Cluster>(
@@ -60,7 +61,8 @@ struct PoolFixture {
         [this](NodeId node, const rsm::Command& cmd) {
           if (pool) pool->on_delivery(node, cmd);
         });
-    pool = std::make_unique<ClientPool>(sim, *cluster, wcfg, sim.rng().fork());
+    pool = std::make_unique<ClientPool>(sim, *cluster, wcfg, sim.rng().fork(),
+                                        std::move(phases));
     cluster->start();
   }
 
@@ -109,6 +111,80 @@ TEST(ClientPoolTest, ThinkTimeSlowsClients) {
   fast.sim.run_until(500 * kMs);
   slow.sim.run_until(500 * kMs);
   EXPECT_GT(fast.pool->completed(), 2 * slow.pool->completed());
+}
+
+TEST(ClientPoolTest, OpenLoopSubmitsIndependentlyOfCompletions) {
+  WorkloadConfig wcfg;
+  const double rate = 500.0;  // cmd/s across the 3-site LAN cluster
+  PoolFixture f(wcfg, /*seed=*/5, {PhaseSpec::open_loop(0, rate)});
+  f.pool->start();
+  f.sim.run_until(2 * kSec);
+  // Submissions track the Poisson arrival rate, not the completion rate.
+  EXPECT_NEAR(static_cast<double>(f.pool->submitted()), 2.0 * rate,
+              0.2 * rate);
+  EXPECT_GT(f.pool->completed(), 0u);
+  // Open-loop arrivals never wait for completions.
+  EXPECT_EQ(f.pool->active_client_count(), 0u);
+}
+
+TEST(ClientPoolTest, PhaseSwitchClosedToOpenToClosed) {
+  WorkloadConfig wcfg;
+  PoolFixture f(wcfg, /*seed=*/5,
+                {PhaseSpec::closed_loop(0, 2),
+                 PhaseSpec::open_loop(300 * kMs, 400.0),
+                 PhaseSpec::closed_loop(600 * kMs, 1)});
+  f.pool->start();
+  f.sim.run_until(250 * kMs);
+  EXPECT_EQ(f.pool->active_client_count(), 6u);  // 2 clients x 3 sites
+  const std::uint64_t closed_submitted = f.pool->submitted();
+  EXPECT_LE(closed_submitted, f.pool->completed() + 6);
+
+  f.sim.run_until(550 * kMs);
+  EXPECT_EQ(f.pool->active_client_count(), 0u);
+  EXPECT_GT(f.pool->submitted(), closed_submitted + 50);  // Poisson arrivals
+
+  f.sim.run_until(2 * kSec);
+  // Back to closed loop with 1 client/site: in-flight bounded again.
+  EXPECT_EQ(f.pool->active_client_count(), 3u);
+  EXPECT_GE(f.pool->completed() + 6, f.pool->submitted() - 3);
+}
+
+TEST(ClientPoolTest, WholeClusterDownParksClientsWithoutFaulting) {
+  WorkloadConfig wcfg;
+  wcfg.clients_per_site = 2;
+  wcfg.reconnect_delay_us = 20 * kMs;
+  PoolFixture f(wcfg);
+  f.pool->start();
+  f.sim.run_until(100 * kMs);
+  for (NodeId n = 0; n < 3; ++n) {
+    f.cluster->crash(n);
+    f.pool->on_node_crashed(n);
+  }
+  const std::uint64_t at_blackout = f.pool->completed();
+  f.sim.run_until(500 * kMs);  // must not dereference a kNoNode home
+  EXPECT_EQ(f.pool->completed(), at_blackout);
+
+  // Recovery of a majority (leader included) ends the blackout: parked
+  // clients reconnect and commands commit again.
+  f.cluster->recover(0);
+  f.pool->on_node_recovered(0);
+  f.cluster->recover(1);
+  f.pool->on_node_recovered(1);
+  f.sim.run_until(1500 * kMs);
+  EXPECT_GT(f.pool->completed(), at_blackout + 20);
+}
+
+TEST(ClientPoolTest, OpenLoopDivertsArrivalsFromCrashedSite) {
+  WorkloadConfig wcfg;
+  PoolFixture f(wcfg, /*seed=*/5, {PhaseSpec::open_loop(0, 300.0)});
+  f.pool->start();
+  f.sim.run_until(200 * kMs);
+  f.cluster->crash(2);
+  f.pool->on_node_crashed(2);
+  const std::uint64_t before = f.pool->completed();
+  f.sim.run_until(1 * kSec);
+  // Arrivals destined for the crashed site complete via live sites instead.
+  EXPECT_GT(f.pool->completed(), before + 100);
 }
 
 TEST(ClientPoolTest, CrashedSiteClientsReconnectElsewhere) {
