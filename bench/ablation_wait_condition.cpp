@@ -15,12 +15,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(double conflict, bool wait_enabled, std::size_t fq) {
+RunReport run(double conflict, bool wait_enabled, std::size_t fq) {
   core::CaesarConfig caesar;
   caesar.wait_enabled = wait_enabled;
   caesar.fast_quorum_override = fq;
@@ -38,7 +38,8 @@ ExperimentResult run(double conflict, bool wait_enabled, std::size_t fq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("ablation_wait_condition", argc, argv);
   harness::print_figure_header(
       "Ablation A", "wait condition ON vs OFF (immediate reject)",
       "without the wait, CAESAR degrades to EPaxos-like slow-path rates "
@@ -47,8 +48,12 @@ int main() {
   Table ta({"conflict%", "wait slow%", "no-wait slow%", "wait lat(ms)",
             "no-wait lat(ms)"});
   for (double c : {0.02, 0.10, 0.30, 0.50}) {
-    ExperimentResult on = run(c, true, 0);
-    ExperimentResult off = run(c, false, 0);
+    RunReport on = run(c, true, 0);
+    RunReport off = run(c, false, 0);
+    const std::string pct = Table::num(c * 100, 0);
+    json.add("wait/c=" + pct, on);
+    json.add("no-wait/c=" + pct, off);
+    json.add(harness::diff(on, off, "wait/c=" + pct, "no-wait/c=" + pct));
     ta.add_row({Table::num(c * 100, 0), Table::num(on.slow_path_pct(), 1),
                 Table::num(off.slow_path_pct(), 1),
                 Table::ms(on.total_latency.mean()),
@@ -64,8 +69,10 @@ int main() {
 
   Table tb({"conflict%", "FQ=4 lat(ms)", "FQ=3 lat(ms)", "delta"});
   for (double c : {0.0, 0.10, 0.30}) {
-    ExperimentResult fq4 = run(c, true, 0);
-    ExperimentResult fq3 = run(c, true, 3);
+    RunReport fq4 = run(c, true, 0);
+    RunReport fq3 = run(c, true, 3);
+    json.add("fq4/c=" + Table::num(c * 100, 0), fq4);
+    json.add("fq3/c=" + Table::num(c * 100, 0), fq3);
     const double delta =
         (fq4.total_latency.mean() - fq3.total_latency.mean()) /
         fq3.total_latency.mean();
@@ -73,5 +80,5 @@ int main() {
                 Table::ms(fq3.total_latency.mean()), Table::pct(delta)});
   }
   tb.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

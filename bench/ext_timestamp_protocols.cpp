@@ -12,12 +12,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, double conflict) {
+RunReport run(ProtocolKind kind, double conflict) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 200 * kMs;
   return harness::run_scenario(ScenarioBuilder("ext-timestamp")
@@ -33,7 +33,8 @@ ExperimentResult run(ProtocolKind kind, double conflict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("ext_timestamp_protocols", argc, argv);
   harness::print_figure_header(
       "Extension", "timestamp-ordered protocols: Mencius / Clock-RSM / CAESAR",
       "paper §II: Mencius and Clock-RSM need confirmation from ALL nodes "
@@ -42,9 +43,13 @@ int main() {
   Table t({"conflict%", "Mencius(ms)", "ClockRSM(ms)", "Caesar(ms)",
            "Mencius p99", "ClockRSM p99", "Caesar p99"});
   for (double c : {0.0, 0.10, 0.30}) {
-    ExperimentResult me = run(ProtocolKind::kMencius, c);
-    ExperimentResult cr = run(ProtocolKind::kClockRsm, c);
-    ExperimentResult cs = run(ProtocolKind::kCaesar, c);
+    RunReport me = run(ProtocolKind::kMencius, c);
+    RunReport cr = run(ProtocolKind::kClockRsm, c);
+    RunReport cs = run(ProtocolKind::kCaesar, c);
+    const std::string pct = Table::num(c * 100, 0);
+    json.add("mencius/c=" + pct, me);
+    json.add("clockrsm/c=" + pct, cr);
+    json.add("caesar/c=" + pct, cs);
     t.add_row({Table::num(c * 100, 0), Table::ms(me.total_latency.mean()),
                Table::ms(cr.total_latency.mean()),
                Table::ms(cs.total_latency.mean()),
@@ -55,9 +60,9 @@ int main() {
   t.print();
 
   // Per-site view at 0%: the farthest site dominates the all-node designs.
-  ExperimentResult me = run(ProtocolKind::kMencius, 0.0);
-  ExperimentResult cr = run(ProtocolKind::kClockRsm, 0.0);
-  ExperimentResult cs = run(ProtocolKind::kCaesar, 0.0);
+  RunReport me = run(ProtocolKind::kMencius, 0.0);
+  RunReport cr = run(ProtocolKind::kClockRsm, 0.0);
+  RunReport cs = run(ProtocolKind::kCaesar, 0.0);
   std::cout << "\nPer-site mean latency at 0% conflicts:\n";
   Table t2({"site", "Mencius(ms)", "ClockRSM(ms)", "Caesar(ms)"});
   for (std::size_t s = 0; s < me.sites.size(); ++s) {
@@ -66,5 +71,5 @@ int main() {
                 Table::ms(cs.sites[s].latency.mean())});
   }
   t2.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -13,12 +13,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, double conflict) {
+RunReport run(ProtocolKind kind, double conflict) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 200 * kMs;
   // The paper measures slow paths under its throughput workload: enough
@@ -36,7 +36,8 @@ ExperimentResult run(ProtocolKind kind, double conflict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig10", argc, argv);
   harness::print_figure_header(
       "Figure 10", "% of commands delivered via a slow decision",
       "EPaxos slow%% ~ conflict%%; CAESAR several times lower "
@@ -45,17 +46,21 @@ int main() {
   Table t({"conflict%", "Caesar slow%", "EPaxos slow%", "ratio(EP/Caesar)",
            "Caesar waits", "Caesar retries"});
   for (double c : {0.0, 0.02, 0.10, 0.30, 0.50, 1.0}) {
-    ExperimentResult cs = run(ProtocolKind::kCaesar, c);
-    ExperimentResult ep = run(ProtocolKind::kEPaxos, c);
+    RunReport cs = run(ProtocolKind::kCaesar, c);
+    RunReport ep = run(ProtocolKind::kEPaxos, c);
+    const std::string pct = Table::num(c * 100, 0);
+    json.add("caesar/c=" + pct, cs);
+    json.add("epaxos/c=" + pct, ep);
+    json.add(harness::diff(cs, ep, "caesar/c=" + pct, "epaxos/c=" + pct));
     const double ratio = cs.slow_path_pct() > 0
                              ? ep.slow_path_pct() / cs.slow_path_pct()
                              : 0.0;
-    t.add_row({Table::num(c * 100, 0), Table::num(cs.slow_path_pct(), 1),
+    t.add_row({pct, Table::num(cs.slow_path_pct(), 1),
                Table::num(ep.slow_path_pct(), 1),
                cs.slow_path_pct() > 0 ? Table::num(ratio, 1) + "x" : "-",
                std::to_string(cs.proto.waits),
                std::to_string(cs.proto.retries)});
   }
   t.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

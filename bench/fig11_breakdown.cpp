@@ -12,12 +12,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(double conflict) {
+RunReport run(double conflict) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 100 * kMs;
   return harness::run_scenario(ScenarioBuilder("fig11")
@@ -34,7 +34,8 @@ ExperimentResult run(double conflict) {
 /// Wait-time per site requires per-node stats; re-run and read per_node.
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig11", argc, argv);
   harness::print_figure_header(
       "Figure 11a", "proportion of CAESAR latency per ordering phase",
       "propose dominates at low conflict; deliver grows to a major share as "
@@ -43,7 +44,8 @@ int main() {
   Table ta({"conflict%", "propose(ms)", "retry(ms)", "deliver(ms)",
             "propose%", "retry%", "deliver%"});
   for (double c : {0.0, 0.02, 0.10, 0.30, 0.50, 1.0}) {
-    ExperimentResult r = run(c);
+    RunReport r = run(c);
+    json.add("caesar/c=" + Table::num(c * 100, 0), r);
     // Mean phase costs amortized over all decided commands (retry only runs
     // for slow decisions, so weight it by its frequency).
     const double n = static_cast<double>(r.proto.propose_phase.count());
@@ -70,9 +72,9 @@ int main() {
       "lagging timestamps and wait longer; waits grow with conflict%");
 
   Table tb({"site", "wait@2%(ms)", "wait@10%(ms)", "wait@30%(ms)"});
-  ExperimentResult r2 = run(0.02);
-  ExperimentResult r10 = run(0.10);
-  ExperimentResult r30 = run(0.30);
+  RunReport r2 = run(0.02);
+  RunReport r10 = run(0.10);
+  RunReport r30 = run(0.30);
   const auto site_names = net::Topology::ec2_five_sites().site_names;
   for (std::size_t s = 0; s < site_names.size(); ++s) {
     tb.add_row({site_names[s], Table::ms(r2.per_node[s].wait_time.mean()),
@@ -80,5 +82,5 @@ int main() {
                 Table::ms(r30.per_node[s].wait_time.mean())});
   }
   tb.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -13,12 +13,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::Scenario;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind) {
+RunReport run(ProtocolKind kind) {
   // The crash schedule, client counts and timeline bucketing live in the
   // shared "fig12-failover" registry entry; this bench only varies the
   // protocol under test.
@@ -29,14 +29,18 @@ ExperimentResult run(ProtocolKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig12", argc, argv);
   harness::print_figure_header(
       "Figure 12", "throughput timeline with one node crash at t=20s",
       "short dip after the crash (clients reconnect, leaders recover "
       "in-flight commands), then throughput restores; recovery ~4s");
 
-  ExperimentResult cs = run(ProtocolKind::kCaesar);
-  ExperimentResult ep = run(ProtocolKind::kEPaxos);
+  RunReport cs = run(ProtocolKind::kCaesar);
+  RunReport ep = run(ProtocolKind::kEPaxos);
+  json.add("caesar", cs);
+  json.add("epaxos", ep);
+  json.add(harness::diff(cs, ep, "caesar", "epaxos"));
 
   Table t({"t(s)", "Caesar(1000 x cmd/s)", "EPaxos(1000 x cmd/s)"});
   const std::size_t buckets =
@@ -56,7 +60,7 @@ int main() {
   // quorum is all four survivors, so the steady state itself sits lower
   // than before the crash — the farthest site now gates every fast
   // decision. EPaxos' fast quorum of 3 is unaffected.)
-  auto recovery_seconds = [](const ExperimentResult& r) -> double {
+  auto recovery_seconds = [](const RunReport& r) -> double {
     const std::size_t buckets = r.timeline.bucket_count();
     if (buckets < 30) return -1.0;
     double steady = 0;
@@ -76,5 +80,5 @@ int main() {
             << Table::num(recovery_seconds(ep), 0)
             << "s (paper: ~4s; includes the 1s failure-detection timeout and "
                "2s client reconnect delay)\n";
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 //  * CAESAR stays nearly flat up to 50% while EPaxos and M2Paxos climb;
 //  * e.g. Virginia at 30%: CAESAR 90ms < EPaxos 108ms < M2Paxos 127ms.
 #include <iostream>
+#include <iterator>
 
 #include "harness/report.h"
 #include "harness/scenario.h"
@@ -15,12 +16,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, double conflict) {
+RunReport run(ProtocolKind kind, double conflict) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 200 * kMs;
   return harness::run_scenario(ScenarioBuilder("fig6")
@@ -36,7 +37,8 @@ ExperimentResult run(ProtocolKind kind, double conflict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig6", argc, argv);
   harness::print_figure_header(
       "Figure 6", "avg latency per site vs conflict %, no batching",
       "CAESAR flat 0-50%; EPaxos/M2Paxos degrade with conflicts "
@@ -58,8 +60,12 @@ int main() {
                  "consistent"});
 
   for (double c : conflicts) {
-    std::vector<ExperimentResult> results;
-    for (ProtocolKind kind : kinds) results.push_back(run(kind, c));
+    std::vector<RunReport> results;
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      results.push_back(run(kinds[k], c));
+      json.add(std::string(to_string(kinds[k])) + "/c=" + Table::num(c * 100, 0),
+               results.back());
+    }
     const std::string label = Table::num(c * 100, 0);
     bool consistent = true;
     for (auto& r : results) consistent = consistent && r.consistent;
@@ -80,5 +86,5 @@ int main() {
   }
   std::cout << "\n-- All sites (mean) --\n";
   overall.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

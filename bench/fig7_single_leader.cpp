@@ -14,12 +14,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, NodeId mpaxos_leader) {
+RunReport run(ProtocolKind kind, NodeId mpaxos_leader) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 200 * kMs;
   return harness::run_scenario(ScenarioBuilder("fig7")
@@ -36,7 +36,8 @@ ExperimentResult run(ProtocolKind kind, NodeId mpaxos_leader) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig7", argc, argv);
   harness::print_figure_header(
       "Figure 7",
       "avg latency per site: Multi-Paxos-IR, Multi-Paxos-IN, Mencius, "
@@ -44,10 +45,15 @@ int main() {
       "Mencius ~ slowest-node RTT everywhere (~60% over CAESAR); "
       "Multi-Paxos depends heavily on leader placement");
 
-  ExperimentResult mp_ir = run(ProtocolKind::kMultiPaxos, 3);  // Ireland
-  ExperimentResult mp_in = run(ProtocolKind::kMultiPaxos, 4);  // Mumbai
-  ExperimentResult mencius = run(ProtocolKind::kMencius, 3);
-  ExperimentResult cs = run(ProtocolKind::kCaesar, 3);
+  RunReport mp_ir = run(ProtocolKind::kMultiPaxos, 3);  // Ireland
+  RunReport mp_in = run(ProtocolKind::kMultiPaxos, 4);  // Mumbai
+  RunReport mencius = run(ProtocolKind::kMencius, 3);
+  RunReport cs = run(ProtocolKind::kCaesar, 3);
+  json.add("multipaxos-ireland", mp_ir);
+  json.add("multipaxos-mumbai", mp_in);
+  json.add("mencius", mencius);
+  json.add("caesar", cs);
+  json.add(harness::diff(cs, mencius, "caesar", "mencius"));
 
   Table t({"site", "MultiPaxos-IR(ms)", "MultiPaxos-IN(ms)", "Mencius(ms)",
            "Caesar-0%(ms)"});
@@ -69,5 +75,5 @@ int main() {
                               cs.total_latency.mean(),
                           2)
             << "x (paper: ~1.6x)\n";
-  return 0;
+  return json.write() ? 0 : 1;
 }

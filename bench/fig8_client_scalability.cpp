@@ -14,12 +14,12 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, std::uint32_t total_clients) {
+RunReport run(ProtocolKind kind, std::uint32_t total_clients) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 100 * kMs;
   rt::NodeConfig node;
@@ -40,7 +40,8 @@ ExperimentResult run(ProtocolKind kind, std::uint32_t total_clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("fig8", argc, argv);
   harness::print_figure_header(
       "Figure 8", "latency vs #connected clients (5-2000), 10% conflicts",
       "CAESAR steady until ~1500 clients; EPaxos degrades with load "
@@ -51,9 +52,12 @@ int main() {
   Table t({"clients", "Caesar(ms)", "EPaxos(ms)", "M2Paxos(ms)",
            "Caesar(ktps)", "EPaxos(ktps)", "M2Paxos(ktps)"});
   for (std::uint32_t clients : client_counts) {
-    ExperimentResult cs = run(ProtocolKind::kCaesar, clients);
-    ExperimentResult ep = run(ProtocolKind::kEPaxos, clients);
-    ExperimentResult m2 = run(ProtocolKind::kM2Paxos, clients);
+    RunReport cs = run(ProtocolKind::kCaesar, clients);
+    RunReport ep = run(ProtocolKind::kEPaxos, clients);
+    RunReport m2 = run(ProtocolKind::kM2Paxos, clients);
+    json.add("caesar/clients=" + std::to_string(clients), cs);
+    json.add("epaxos/clients=" + std::to_string(clients), ep);
+    json.add("m2paxos/clients=" + std::to_string(clients), m2);
     t.add_row({std::to_string(clients), Table::ms(cs.total_latency.mean()),
                Table::ms(ep.total_latency.mean()),
                Table::ms(m2.total_latency.mean()),
@@ -62,5 +66,5 @@ int main() {
                Table::num(m2.throughput_tps / 1000.0, 1)});
   }
   t.print();
-  return 0;
+  return json.write() ? 0 : 1;
 }

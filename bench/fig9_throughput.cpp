@@ -15,13 +15,14 @@
 namespace {
 
 using namespace caesar;
-using harness::ExperimentResult;
+using harness::JsonReportFile;
 using harness::ProtocolKind;
+using harness::RunReport;
 using harness::ScenarioBuilder;
 using harness::Table;
 
-ExperimentResult run(ProtocolKind kind, double conflict, bool batching,
-                     NodeId mpaxos_leader = 3) {
+RunReport run(JsonReportFile& json, ProtocolKind kind, double conflict,
+              bool batching, NodeId mpaxos_leader = 3) {
   core::CaesarConfig caesar;
   caesar.gossip_interval_us = 100 * kMs;
   rt::NodeConfig node;
@@ -29,7 +30,7 @@ ExperimentResult run(ProtocolKind kind, double conflict, bool batching,
   node.batching = batching;
   node.batch_delay_us = 2 * kMs;
   node.batch_max_ops = 96;
-  return harness::run_scenario(
+  RunReport r = harness::run_scenario(
       ScenarioBuilder("fig9")
           .protocol(kind)
           .clients_per_site(800)  // saturating closed-loop pool
@@ -42,9 +43,17 @@ ExperimentResult run(ProtocolKind kind, double conflict, bool batching,
           .seed(9)
           .check_consistency(false)  // throughput runs are large
           .build());
+  std::string label = std::string(to_string(kind)) + "/c=" +
+                      Table::num(conflict * 100, 0) +
+                      (batching ? "/batch" : "");
+  if (kind == ProtocolKind::kMultiPaxos) {
+    label += "/leader=" + std::to_string(mpaxos_leader);
+  }
+  json.add(label, r);
+  return r;
 }
 
-void panel(bool batching) {
+void panel(JsonReportFile& json, bool batching) {
   std::cout << "\n-- batching " << (batching ? "ENABLED" : "DISABLED")
             << " (throughput, 1000 x cmds/s) --\n";
   const double conflicts[] = {0.0, 0.02, 0.10, 0.30, 0.50, 1.0};
@@ -57,23 +66,29 @@ void panel(bool batching) {
   for (double c : conflicts) {
     std::vector<std::string> row{Table::num(c * 100, 0)};
     row.push_back(Table::num(
-        run(ProtocolKind::kCaesar, c, batching).throughput_tps / 1000.0, 1));
+        run(json, ProtocolKind::kCaesar, c, batching).throughput_tps / 1000.0,
+        1));
     row.push_back(Table::num(
-        run(ProtocolKind::kEPaxos, c, batching).throughput_tps / 1000.0, 1));
+        run(json, ProtocolKind::kEPaxos, c, batching).throughput_tps / 1000.0,
+        1));
     row.push_back(Table::num(
-        run(ProtocolKind::kM2Paxos, c, batching).throughput_tps / 1000.0, 1));
+        run(json, ProtocolKind::kM2Paxos, c, batching).throughput_tps / 1000.0,
+        1));
     if (!batching) {
       // Mencius and Multi-Paxos are conflict-oblivious; the paper plots them
       // as flat lines — measure once at 0% semantics regardless of c.
       row.push_back(Table::num(
-          run(ProtocolKind::kMencius, c, batching).throughput_tps / 1000.0,
+          run(json, ProtocolKind::kMencius, c, batching).throughput_tps /
+              1000.0,
           1));
     }
     row.push_back(Table::num(
-        run(ProtocolKind::kMultiPaxos, c, batching, 3).throughput_tps / 1000.0,
+        run(json, ProtocolKind::kMultiPaxos, c, batching, 3).throughput_tps /
+            1000.0,
         1));
     row.push_back(Table::num(
-        run(ProtocolKind::kMultiPaxos, c, batching, 4).throughput_tps / 1000.0,
+        run(json, ProtocolKind::kMultiPaxos, c, batching, 4).throughput_tps /
+            1000.0,
         1));
     t.add_row(std::move(row));
   }
@@ -82,12 +97,13 @@ void panel(bool batching) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReportFile json("fig9", argc, argv);
   harness::print_figure_header(
       "Figure 9", "throughput vs conflict %, batching off (top) / on (bottom)",
       "no-batch: CAESAR -17% at 10% conflicts vs EPaxos -24% / M2Paxos -45%; "
       "batch: CAESAR ~3x EPaxos at <=10%, EPaxos leads at >=50%");
-  panel(/*batching=*/false);
-  panel(/*batching=*/true);
-  return 0;
+  panel(json, /*batching=*/false);
+  panel(json, /*batching=*/true);
+  return json.write() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include "net/serialization.h"
 #include "rsm/command.h"
 #include "sim/simulator.h"
+#include "stats/latency_stats.h"
 
 namespace {
 
@@ -116,6 +117,24 @@ void BM_ConflictIndexScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) / 2);
 }
 BENCHMARK(BM_ConflictIndexScan)->Arg(64)->Arg(1024);
+
+void BM_LatencyPercentiles(benchmark::State& state) {
+  // The report-emission pattern: many percentile reads over a settled pool.
+  // The sorted cache makes every read after the first O(1) instead of a full
+  // copy + nth_element per call.
+  stats::LatencyStats s;
+  Rng rng(7);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    s.record(static_cast<Time>(rng.uniform_int(1'000'000)));
+  }
+  for (auto _ : state) {
+    Time sum = 0;
+    for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) sum += s.percentile(p);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_LatencyPercentiles)->Arg(1024)->Arg(1 << 20);
 
 void BM_TimestampClock(benchmark::State& state) {
   core::TimestampClock clock(3);

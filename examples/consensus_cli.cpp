@@ -4,12 +4,14 @@
 //   $ ./examples/consensus_cli --protocol=caesar --conflict=30 \
 //         --clients=50 --duration=10 --batching --seed=7
 //   $ ./examples/consensus_cli --scenario=partition-heal
+//   $ ./examples/consensus_cli --scenario=rate-sweep --json=run.json
 //   $ ./examples/consensus_cli --list-scenarios
 //
-// Prints per-site latency, throughput, decision-path statistics and the
-// cross-site consistency verdict. With --scenario the run starts from a
-// registered scenario (fault schedule and workload phases included) and the
-// remaining flags act as overrides.
+// Prints per-site latency, per-window metrics, throughput, decision-path
+// statistics and the cross-site consistency verdict; --json additionally
+// writes the full RunReport as a schema-stable JSON document. With
+// --scenario the run starts from a registered scenario (fault schedule and
+// workload phases included) and the remaining flags act as overrides.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -50,12 +52,15 @@ void usage() {
       "  --leader=SITE     Multi-Paxos leader site index (default 3=Ireland)\n"
       "  --batching        enable request batching\n"
       "  --no-wait         CAESAR ablation: disable the wait condition\n"
-      "  --crash=SITE      crash this site halfway through the run\n";
+      "  --crash=SITE      crash this site halfway through the run\n"
+      "  --window=SEC      fixed metrics-window width (default: per-phase)\n"
+      "  --json=FILE       also write the run report as JSON to FILE\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
   harness::Scenario s;
   s.name = "cli";
   s.workload.conflict_fraction = 0.10;
@@ -123,6 +128,16 @@ int main(int argc, char** argv) {
       s.node.batching = true;
     } else if (arg == "--no-wait") {
       s.caesar.wait_enabled = false;
+    } else if (auto v = value_of("--window=")) {
+      s.metrics_window_us = static_cast<Time>(std::atof(v->c_str()) * kSec);
+    } else if (auto v = value_of("--json=")) {
+      json_path = *v;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a file path\n";
+        return 2;
+      }
+      json_path = argv[++i];
     } else if (auto v = value_of("--crash=")) {
       s.faults.push_back(harness::FaultEvent::Crash(
           static_cast<NodeId>(std::atoi(v->c_str())), s.duration / 2));
@@ -142,7 +157,7 @@ int main(int argc, char** argv) {
   for (const auto& e : s.faults) std::cout << "fault: " << to_string(e) << "\n";
   std::cout << "\n";
 
-  harness::ExperimentResult r;
+  harness::RunReport r;
   try {
     r = harness::run_scenario(s);
   } catch (const std::invalid_argument& e) {
@@ -150,22 +165,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  harness::Table t({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
-  for (const auto& site : r.sites) {
-    t.add_row({site.name, harness::Table::ms(site.latency.mean()),
-               harness::Table::ms(static_cast<double>(site.latency.percentile(50))),
-               harness::Table::ms(static_cast<double>(site.latency.percentile(99))),
-               std::to_string(site.latency.count())});
+  harness::print_report(r);
+
+  if (!json_path.empty()) {
+    harness::JsonReportFile json("consensus_cli", json_path);
+    json.add(s.name, r);
+    if (!json.write()) return 1;
   }
-  t.print();
-  std::cout << "\nthroughput: " << harness::Table::num(r.throughput_tps, 0)
-            << " cmd/s"
-            << "\ncompleted: " << r.completed << " / submitted: " << r.submitted
-            << "\nfast decisions: " << r.proto.fast_decisions
-            << "  slow: " << r.proto.slow_decisions
-            << "  retries: " << r.proto.retries
-            << "  recoveries: " << r.proto.recoveries
-            << "\nmessages: " << r.messages << "  bytes: " << r.bytes
-            << "\nconsistent: " << (r.consistent ? "yes" : "NO") << "\n";
   return r.consistent ? 0 : 1;
 }

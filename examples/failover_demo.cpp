@@ -4,7 +4,7 @@
 // fault schedule on the Scenario builder (a compact cousin of the
 // registered "fig12-failover" scenario).
 //
-//   $ ./examples/failover_demo
+//   $ ./examples/failover_demo [--json file]
 #include <iostream>
 
 #include "harness/report.h"
@@ -12,7 +12,8 @@
 
 using namespace caesar;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::JsonReportFile json("failover_demo", argc, argv);
   core::CaesarConfig caesar_cfg;
   caesar_cfg.gossip_interval_us = 200 * kMs;
   wl::WorkloadConfig workload;
@@ -32,7 +33,8 @@ int main() {
                                   .build();
 
   std::cout << "CAESAR cluster, 250 clients; Frankfurt crashes at t=8s\n\n";
-  harness::ExperimentResult r = harness::run_scenario(s);
+  harness::RunReport r = harness::run_scenario(s);
+  json.add("failover-demo", r);
 
   harness::Table t({"t(s)", "completions/s", ""});
   double peak = 0;
@@ -53,5 +55,5 @@ int main() {
             << "\nCompleted " << r.completed << "/" << r.submitted
             << " requests (in-flight requests at the dead site were "
                "resubmitted elsewhere)\n";
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -5,7 +5,7 @@
 // the fast/slow decision split — the numbers an operator of such a store
 // would care about.
 //
-//   $ ./examples/geo_kv_store [conflict_percent]    (default 10)
+//   $ ./examples/geo_kv_store [conflict_percent] [--json file]  (default 10)
 #include <cstdlib>
 #include <iostream>
 
@@ -16,7 +16,8 @@ using namespace caesar;
 
 int main(int argc, char** argv) {
   double conflict = 0.10;
-  if (argc > 1) conflict = std::atof(argv[1]) / 100.0;
+  if (argc > 1 && argv[1][0] != '-') conflict = std::atof(argv[1]) / 100.0;
+  harness::JsonReportFile json("geo_kv_store", argc, argv);
 
   core::CaesarConfig caesar_cfg;
   caesar_cfg.gossip_interval_us = 200 * kMs;
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
             << harness::Table::num(conflict * 100, 0) << "% conflicting writes, "
             << s.workload.clients_per_site << " clients/site\n\n";
 
-  harness::ExperimentResult r = harness::run_scenario(s);
+  harness::RunReport r = harness::run_scenario(s);
+  json.add("geo-kv-store", r);
 
   harness::Table t({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
   for (const auto& s : r.sites) {
@@ -51,5 +53,5 @@ int main(int argc, char** argv) {
             << (r.consistent ? "verified" : "VIOLATED") << "\n";
   std::cout << "Network: " << r.messages << " messages, " << r.bytes / 1024
             << " KiB\n";
-  return 0;
+  return json.write() ? 0 : 1;
 }

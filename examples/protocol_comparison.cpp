@@ -1,10 +1,14 @@
 // Protocol bake-off: run the same geo workload against all five consensus
 // protocols in this repository and print a side-by-side comparison — a
-// miniature of the paper's whole evaluation in one binary.
+// miniature of the paper's whole evaluation in one binary — followed by a
+// harness::diff A/B table of CAESAR vs EPaxos (the paper's headline
+// matchup) and, with --json, the full reports and diff as one document.
 //
-//   $ ./examples/protocol_comparison [conflict_percent]   (default 30)
+//   $ ./examples/protocol_comparison [conflict_percent] [--json file]
+//       (default 30)
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 #include "harness/report.h"
 #include "harness/scenario.h"
@@ -13,10 +17,14 @@ using namespace caesar;
 
 int main(int argc, char** argv) {
   double conflict = 0.30;
-  if (argc > 1) conflict = std::atof(argv[1]) / 100.0;
+  if (argc > 1 && argv[1][0] != '-') conflict = std::atof(argv[1]) / 100.0;
+  harness::JsonReportFile json("protocol_comparison", argc, argv);
 
   std::cout << "All five protocols, " << harness::Table::num(conflict * 100, 0)
             << "% conflicting commands, 10 clients/site, EC2 topology\n\n";
+
+  std::optional<harness::RunReport> caesar_report;
+  std::optional<harness::RunReport> epaxos_report;
 
   harness::Table t({"protocol", "mean(ms)", "p99(ms)", "tput(cmd/s)",
                     "slow-path%", "consistent"});
@@ -26,7 +34,7 @@ int main(int argc, char** argv) {
         harness::ProtocolKind::kMultiPaxos}) {
     core::CaesarConfig caesar_cfg;
     caesar_cfg.gossip_interval_us = 200 * kMs;
-    harness::ExperimentResult r = harness::run_scenario(
+    harness::RunReport r = harness::run_scenario(
         harness::ScenarioBuilder("protocol-comparison")
             .protocol(kind)
             .clients_per_site(10)
@@ -36,6 +44,7 @@ int main(int argc, char** argv) {
             .duration(10 * kSec)
             .warmup(2 * kSec)
             .build());
+    json.add(std::string(to_string(kind)), r);
     t.add_row({std::string(to_string(kind)),
                harness::Table::ms(r.total_latency.mean()),
                harness::Table::ms(
@@ -43,10 +52,19 @@ int main(int argc, char** argv) {
                harness::Table::num(r.throughput_tps, 0),
                harness::Table::num(r.slow_path_pct(), 1),
                r.consistent ? "yes" : "NO"});
+    if (kind == harness::ProtocolKind::kCaesar) caesar_report = std::move(r);
+    if (kind == harness::ProtocolKind::kEPaxos) epaxos_report = std::move(r);
   }
   t.print();
   std::cout << "\n(slow-path% is meaningful for Caesar/EPaxos; M2Paxos counts "
                "forwarded commands, single-leader protocols have no fast "
                "path distinction)\n";
-  return 0;
+
+  // A/B comparison of the headline pair: every metric as a B/A ratio.
+  const harness::RunReportDiff d =
+      harness::diff(*caesar_report, *epaxos_report, "Caesar", "EPaxos");
+  json.add(d);
+  std::cout << "\n-- A/B: CAESAR (A) vs EPaxos (B) --\n";
+  harness::print_diff(d);
+  return json.write() ? 0 : 1;
 }

@@ -1,6 +1,11 @@
 #include "harness/report.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -64,6 +69,300 @@ void print_figure_header(const std::string& figure,
             << figure << ": " << description << "\n"
             << "Paper expectation: " << paper_expectation << "\n"
             << "================================================================\n";
+}
+
+// ---------------------------------------------------------------------------
+// ASCII report renderers
+// ---------------------------------------------------------------------------
+
+void print_report(const RunReport& r, std::ostream& os) {
+  Table sites({"site", "mean(ms)", "p50(ms)", "p99(ms)", "requests"});
+  for (const auto& site : r.sites) {
+    sites.add_row(
+        {site.name, Table::ms(site.latency.mean()),
+         Table::ms(static_cast<double>(site.latency.percentile(50))),
+         Table::ms(static_cast<double>(site.latency.percentile(99))),
+         std::to_string(site.latency.count())});
+  }
+  sites.print(os);
+
+  if (r.windows.size() > 1) {
+    os << "\n";
+    Table wins({"window", "t(s)", "tput(cmd/s)", "mean(ms)", "p99(ms)",
+                "fast-path%", "msgs"});
+    for (const auto& w : r.windows) {
+      std::ostringstream span;
+      span << std::fixed << std::setprecision(1)
+           << static_cast<double>(w.begin) / kSec << "-"
+           << static_cast<double>(w.end) / kSec;
+      wins.add_row({w.label, span.str(), Table::num(w.throughput_tps(), 0),
+                    Table::ms(w.latency.mean()),
+                    Table::ms(static_cast<double>(w.latency.percentile(99))),
+                    Table::pct(w.proto.fast_path_fraction()),
+                    std::to_string(w.messages)});
+    }
+    wins.print(os);
+  }
+
+  os << "\nthroughput: " << Table::num(r.throughput_tps, 0) << " cmd/s"
+     << "\ncompleted: " << r.completed << " / submitted: " << r.submitted
+     << "\nfast decisions: " << r.proto.fast_decisions
+     << "  slow: " << r.proto.slow_decisions
+     << "  retries: " << r.proto.retries
+     << "  recoveries: " << r.proto.recoveries
+     << "\nmessages: " << r.messages << "  bytes: " << r.bytes;
+  if (r.fd_suspicions > 0 || r.fd_retractions > 0) {
+    os << "\nfd suspicions: " << r.fd_suspicions
+       << "  retractions: " << r.fd_retractions;
+  }
+  os << "\nconsistent: " << (r.consistent ? "yes" : "NO") << "\n";
+}
+
+void print_diff(const RunReportDiff& d, std::ostream& os) {
+  os << "A = " << d.label_a << "\nB = " << d.label_b << "\n";
+  Table t({"metric", "A", "B", "B/A"});
+  for (const MetricRatio& m : d.metrics) {
+    t.add_row({m.metric, Table::num(m.a, 2), Table::num(m.b, 2),
+               m.ratio_defined() ? Table::num(m.ratio(), 3) + "x" : "-"});
+  }
+  t.print(os);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emitters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kSchema = "caesar-run-report/1";
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Deterministic number formatting: integral values print as integers,
+/// everything else with six significant digits — stable across platforms,
+/// which the golden tests rely on.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void latency_json(std::ostream& os, const stats::LatencyStats& l) {
+  os << "{\"count\":" << l.count() << ",\"mean\":" << json_num(l.mean())
+     << ",\"min\":" << l.min() << ",\"max\":" << l.max()
+     << ",\"p50\":" << l.percentile(50) << ",\"p90\":" << l.percentile(90)
+     << ",\"p99\":" << l.percentile(99) << "}";
+}
+
+void counters_json(std::ostream& os, const stats::ProtocolCounters& c) {
+  os << "{\"fast_decisions\":" << c.fast_decisions
+     << ",\"slow_decisions\":" << c.slow_decisions
+     << ",\"retries\":" << c.retries
+     << ",\"slow_proposals\":" << c.slow_proposals
+     << ",\"recoveries\":" << c.recoveries << ",\"waits\":" << c.waits
+     << ",\"fast_path_fraction\":" << json_num(c.fast_path_fraction()) << "}";
+}
+
+void provenance_json(std::ostream& os, const Provenance& p) {
+  os << "{\"scenario\":\"" << json_escape(p.scenario) << "\",\"protocol\":\""
+     << json_escape(p.protocol) << "\",\"seed\":" << p.seed
+     << ",\"duration_us\":" << p.duration << ",\"warmup_us\":" << p.warmup
+     << ",\"build\":\"" << json_escape(p.build) << "\",\"sites\":[";
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(p.sites[i]) << "\"";
+  }
+  os << "]}";
+}
+
+void window_json(std::ostream& os, const stats::MetricsWindow& w) {
+  os << "{\"label\":\"" << json_escape(w.label) << "\",\"begin_us\":" << w.begin
+     << ",\"end_us\":" << w.end << ",\"phase\":" << w.phase
+     << ",\"completed\":" << w.completed() << ",\"submitted\":" << w.submitted
+     << ",\"throughput_tps\":" << json_num(w.throughput_tps())
+     << ",\"messages\":" << w.messages << ",\"bytes\":" << w.bytes
+     << ",\"latency_us\":";
+  latency_json(os, w.latency);
+  os << ",\"protocol\":";
+  counters_json(os, w.proto);
+  os << "}";
+}
+
+}  // namespace
+
+std::string to_json(const RunReport& r) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kSchema << "\",\"provenance\":";
+  provenance_json(os, r.provenance);
+
+  os << ",\"totals\":{\"completed\":" << r.completed
+     << ",\"submitted\":" << r.submitted
+     << ",\"throughput_tps\":" << json_num(r.throughput_tps)
+     << ",\"messages\":" << r.messages << ",\"bytes\":" << r.bytes
+     << ",\"consistent\":" << (r.consistent ? "true" : "false")
+     << ",\"latency_us\":";
+  latency_json(os, r.total_latency);
+  os << ",\"protocol\":";
+  counters_json(os, r.proto.counters());
+  os << "}";
+
+  os << ",\"windows\":[";
+  for (std::size_t i = 0; i < r.windows.size(); ++i) {
+    if (i) os << ",";
+    window_json(os, r.windows[i]);
+  }
+  os << "]";
+
+  os << ",\"sites\":[";
+  for (std::size_t i = 0; i < r.sites.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(r.sites[i].name)
+       << "\",\"latency_us\":";
+    latency_json(os, r.sites[i].latency);
+    os << "}";
+  }
+  os << "]";
+
+  os << ",\"timeline\":{\"bucket_us\":" << r.timeline.bucket_width()
+     << ",\"rates_tps\":[";
+  for (std::size_t b = 0; b < r.timeline.bucket_count(); ++b) {
+    if (b) os << ",";
+    os << json_num(r.timeline.rate_at(b));
+  }
+  os << "]}";
+
+  os << ",\"fd\":{\"suspicions\":" << r.fd_suspicions
+     << ",\"retractions\":" << r.fd_retractions << "}}";
+  return os.str();
+}
+
+std::string to_json(const RunReportDiff& d) {
+  std::ostringstream os;
+  os << "{\"a\":\"" << json_escape(d.label_a) << "\",\"b\":\""
+     << json_escape(d.label_b) << "\",\"metrics\":[";
+  for (std::size_t i = 0; i < d.metrics.size(); ++i) {
+    const MetricRatio& m = d.metrics[i];
+    if (i) os << ",";
+    os << "{\"metric\":\"" << json_escape(m.metric)
+       << "\",\"a\":" << json_num(m.a) << ",\"b\":" << json_num(m.b)
+       << ",\"ratio\":"
+       << (m.ratio_defined() ? json_num(m.ratio()) : "null") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonReportFile
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        // Fail fast: a silently-inert report file after a minutes-long bench
+        // run is worse than refusing to start.
+        std::cerr << "--json requires a file path\n";
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      if (argv[i][7] == '\0') {
+        std::cerr << "--json requires a file path\n";
+        std::exit(2);
+      }
+      return argv[i] + 7;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+JsonReportFile::JsonReportFile(std::string bench, int argc, char** argv)
+    : bench_(std::move(bench)), path_(json_path_from_args(argc, argv)) {}
+
+JsonReportFile::JsonReportFile(std::string bench, std::string path)
+    : bench_(std::move(bench)), path_(std::move(path)) {}
+
+void JsonReportFile::add(const std::string& label, const RunReport& r) {
+  if (!enabled()) return;
+  runs_.push_back("{\"label\":\"" + json_escape(label) +
+                  "\",\"report\":" + to_json(r) + "}");
+}
+
+void JsonReportFile::add(const RunReportDiff& d) {
+  if (!enabled()) return;
+  diffs_.push_back(to_json(d));
+}
+
+bool JsonReportFile::write() const {
+  if (!enabled()) return true;
+  std::ofstream out(path_);
+  if (!out) {
+    std::cerr << "cannot open " << path_ << " for writing\n";
+    return false;
+  }
+  out << "{\"schema\":\"" << kSchema << "\",\"bench\":\""
+      << json_escape(bench_) << "\",\"build\":\""
+      << json_escape(build_version()) << "\",\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i) out << ",";
+    out << runs_[i];
+  }
+  out << "],\"diffs\":[";
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    if (i) out << ",";
+    out << diffs_[i];
+  }
+  out << "]}\n";
+  out.close();
+  if (!out) {
+    std::cerr << "failed writing " << path_ << "\n";
+    return false;
+  }
+  std::cerr << "wrote JSON report: " << path_ << "\n";
+  return true;
 }
 
 }  // namespace caesar::harness

@@ -1,10 +1,20 @@
-// ASCII reporting helpers shared by the per-figure bench binaries: aligned
-// tables with the same rows/series the paper's figures plot.
+// Reporting/emitter layer over harness::RunReport.
+//
+// Three emitters share this header:
+//   * ASCII — the fixed-width Table the paper-figure benches print, plus
+//     print_report/print_diff convenience renderers;
+//   * JSON — a schema-stable document (schema id "caesar-run-report/1") for
+//     machine consumption and BENCH_*.json trajectory tracking;
+//   * JsonReportFile — the `--json <file>` plumbing every bench binary and
+//     the CLI share: collect labeled reports (and A/B diffs) during the run,
+//     write one document at exit.
 #pragma once
 
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "harness/run_report.h"
 
 namespace caesar::harness {
 
@@ -31,5 +41,69 @@ class Table {
 void print_figure_header(const std::string& figure,
                          const std::string& description,
                          const std::string& paper_expectation);
+
+// ---------------------------------------------------------------------------
+// ASCII report renderers
+// ---------------------------------------------------------------------------
+
+/// Human-readable run summary: per-site latency table, per-window table
+/// (when the run has more than one window), totals and the consistency
+/// verdict.
+void print_report(const RunReport& r, std::ostream& os = std::cout);
+
+/// A/B table: metric, value under A, value under B, ratio B/A.
+void print_diff(const RunReportDiff& d, std::ostream& os = std::cout);
+
+// ---------------------------------------------------------------------------
+// JSON emitters (schema "caesar-run-report/1")
+// ---------------------------------------------------------------------------
+
+/// Serializes one report. Top-level keys: "schema", "provenance", "totals",
+/// "windows", "sites", "timeline", "fd". Key set and meaning are stable; new
+/// keys may be added, existing ones are never renamed within a schema
+/// version.
+std::string to_json(const RunReport& r);
+
+/// Serializes one diff: {"a", "b", "metrics": [{"metric","a","b","ratio"}]}.
+/// "ratio" is null when A's value is zero.
+std::string to_json(const RunReportDiff& d);
+
+/// Collects labeled reports and diffs, then writes a single JSON document:
+///   {"schema": "caesar-run-report/1", "bench": ..., "build": ...,
+///    "runs": [{"label": ..., "report": {...}}, ...], "diffs": [...]}
+///
+/// Benches construct it from argv — it recognises `--json <file>` and
+/// `--json=<file>` and stays inert when the flag is absent, so adding JSON
+/// output to a bench is three lines:
+///
+///   JsonReportFile json("fig10", argc, argv);
+///   json.add("caesar/c=10", report);
+///   return json.write() ? 0 : 1;
+class JsonReportFile {
+ public:
+  /// Scans argv for --json; inert (enabled() == false) when absent. A bare
+  /// `--json` with no path exits(2) immediately — better than a long bench
+  /// run that silently produces nothing.
+  JsonReportFile(std::string bench, int argc, char** argv);
+  /// Explicit path; empty = inert.
+  JsonReportFile(std::string bench, std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Renders the report now (the report need not outlive the call).
+  void add(const std::string& label, const RunReport& r);
+  void add(const RunReportDiff& d);
+
+  /// Writes the document when enabled; reports the path on stderr. Returns
+  /// false only on I/O failure (inert instances trivially succeed).
+  bool write() const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> runs_;   // pre-rendered {"label":...,"report":...}
+  std::vector<std::string> diffs_;  // pre-rendered diff objects
+};
 
 }  // namespace caesar::harness

@@ -1,0 +1,84 @@
+#include "harness/run_report.h"
+
+#include <algorithm>
+
+namespace caesar::harness {
+
+std::string_view build_version() {
+#ifdef CAESAR_GIT_DESCRIBE
+  return CAESAR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+const stats::MetricsWindow* RunReport::window(std::string_view label) const {
+  auto it = std::find_if(
+      windows.begin(), windows.end(),
+      [label](const stats::MetricsWindow& w) { return w.label == label; });
+  return it == windows.end() ? nullptr : &*it;
+}
+
+const MetricRatio* RunReportDiff::find(std::string_view metric) const {
+  auto it = std::find_if(
+      metrics.begin(), metrics.end(),
+      [metric](const MetricRatio& m) { return m.metric == metric; });
+  return it == metrics.end() ? nullptr : &*it;
+}
+
+namespace {
+
+std::string run_label(const RunReport& r) {
+  std::string label = r.provenance.protocol;
+  if (!r.provenance.scenario.empty()) label += "/" + r.provenance.scenario;
+  label += "/seed=" + std::to_string(r.provenance.seed);
+  return label;
+}
+
+void push(RunReportDiff& d, std::string metric, double a, double b) {
+  d.metrics.push_back(MetricRatio{std::move(metric), a, b});
+}
+
+}  // namespace
+
+RunReportDiff diff(const RunReport& a, const RunReport& b,
+                   std::string label_a, std::string label_b) {
+  RunReportDiff d;
+  d.label_a = label_a.empty() ? run_label(a) : std::move(label_a);
+  d.label_b = label_b.empty() ? run_label(b) : std::move(label_b);
+
+  push(d, "mean_latency_us", a.total_latency.mean(), b.total_latency.mean());
+  push(d, "p50_latency_us",
+       static_cast<double>(a.total_latency.percentile(50)),
+       static_cast<double>(b.total_latency.percentile(50)));
+  push(d, "p99_latency_us",
+       static_cast<double>(a.total_latency.percentile(99)),
+       static_cast<double>(b.total_latency.percentile(99)));
+  push(d, "throughput_tps", a.throughput_tps, b.throughput_tps);
+  push(d, "completed", static_cast<double>(a.completed),
+       static_cast<double>(b.completed));
+  push(d, "messages", static_cast<double>(a.messages),
+       static_cast<double>(b.messages));
+  push(d, "bytes", static_cast<double>(a.bytes), static_cast<double>(b.bytes));
+  push(d, "messages_per_cmd",
+       a.completed > 0 ? static_cast<double>(a.messages) / a.completed : 0.0,
+       b.completed > 0 ? static_cast<double>(b.messages) / b.completed : 0.0);
+  push(d, "fast_path_fraction", a.proto.counters().fast_path_fraction(),
+       b.proto.counters().fast_path_fraction());
+
+  // Matched windows (same label on both sides, in A's order): lets an A/B
+  // comparison read e.g. the during-fault phase in isolation.
+  for (const stats::MetricsWindow& wa : a.windows) {
+    const stats::MetricsWindow* wb = b.window(wa.label);
+    if (wb == nullptr) continue;
+    push(d, "window." + wa.label + ".throughput_tps", wa.throughput_tps(),
+         wb->throughput_tps());
+    push(d, "window." + wa.label + ".mean_latency_us", wa.latency.mean(),
+         wb->latency.mean());
+    push(d, "window." + wa.label + ".fast_path_fraction",
+         wa.proto.fast_path_fraction(), wb->proto.fast_path_fraction());
+  }
+  return d;
+}
+
+}  // namespace caesar::harness

@@ -122,6 +122,10 @@ ScenarioBuilder& ScenarioBuilder::fd_timeout(Time v) {
   s_.fd_timeout_us = v;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::fd_suspect_partitions(bool v) {
+  s_.fd_suspect_partitions = v;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::workload(wl::WorkloadConfig v) {
   s_.workload = v;
   return *this;
@@ -146,6 +150,11 @@ ScenarioBuilder& ScenarioBuilder::closed_loop(Time at,
 }
 ScenarioBuilder& ScenarioBuilder::open_loop(Time at, double rate_tps) {
   s_.phases.push_back(wl::PhaseSpec::open_loop(at, rate_tps));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::ramp(Time at, double from_tps,
+                                       double to_tps) {
+  s_.phases.push_back(wl::PhaseSpec::ramp(at, from_tps, to_tps));
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::crash(NodeId node, Time at) {
@@ -202,6 +211,10 @@ ScenarioBuilder& ScenarioBuilder::check_consistency(bool v) {
 }
 ScenarioBuilder& ScenarioBuilder::timeline_bucket(Time v) {
   s_.timeline_bucket = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::metrics_window(Time width) {
+  s_.metrics_window_us = width;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::sample_stats_at(Time v) {
@@ -325,6 +338,10 @@ void validate_scenario(const Scenario& s) {
       if (p.arrival_rate_tps <= 0.0) {
         fail(s, "open-loop phase requires a positive arrival rate");
       }
+      if (p.mode == wl::PhaseSpec::Mode::kOpenLoopRamp &&
+          p.ramp_to_tps <= 0.0) {
+        fail(s, "ramp phase requires a positive target rate");
+      }
     }
   }
   std::sort(phase_starts.begin(), phase_starts.end());
@@ -343,6 +360,10 @@ void validate_scenario(const Scenario& s) {
     if (t < 0 || t > s.duration) {
       fail(s, "sample_stats_at instant outside [0, duration]");
     }
+  }
+
+  if (s.metrics_window_us < 0) {
+    fail(s, "metrics_window_us must be non-negative (0 = per-phase windows)");
   }
 }
 
@@ -406,21 +427,95 @@ stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node
   return total;
 }
 
+stats::ProtocolCounters aggregate_counters(
+    const std::vector<stats::ProtocolStats>& per_node) {
+  stats::ProtocolCounters total;
+  for (const auto& s : per_node) total += s.counters();
+  return total;
+}
+
+/// One boundary snapshot of the run's monotone counters; adjacent snapshots
+/// subtract into a window's deltas.
+struct BoundarySnap {
+  stats::ProtocolCounters proto;
+  std::uint64_t submitted = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Lays out the report's metrics windows: disjoint half-open slices covering
+/// [warmup, duration). Fixed-width when the scenario asks for it, otherwise
+/// one window per workload phase active inside the measurement interval
+/// (phases that end before warmup fold into the first window), or a single
+/// "run" window for unphased scenarios.
+std::vector<stats::MetricsWindow> plan_windows(const Scenario& s) {
+  std::vector<Time> bounds;
+  bounds.push_back(s.warmup);
+  if (s.metrics_window_us > 0) {
+    for (Time t = s.warmup + s.metrics_window_us; t < s.duration;
+         t += s.metrics_window_us) {
+      bounds.push_back(t);
+    }
+  } else {
+    for (const wl::PhaseSpec& p : s.phases) {
+      if (p.at > s.warmup && p.at < s.duration) bounds.push_back(p.at);
+    }
+  }
+  bounds.push_back(s.duration);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<stats::MetricsWindow> windows;
+  windows.reserve(bounds.size() - 1);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    stats::MetricsWindow w;
+    w.begin = bounds[i];
+    w.end = bounds[i + 1];
+    // Active phase: the latest phase starting at or before the window opens
+    // (phases may be unsorted in a hand-built scenario).
+    int phase = -1;
+    for (std::size_t p = 0; p < s.phases.size(); ++p) {
+      if (s.phases[p].at <= w.begin &&
+          (phase < 0 || s.phases[p].at > s.phases[phase].at)) {
+        phase = static_cast<int>(p);
+      }
+    }
+    w.phase = phase;
+    if (s.metrics_window_us > 0) {
+      w.label = "win" + std::to_string(i);
+    } else if (phase >= 0) {
+      w.label = "phase" + std::to_string(phase);
+    } else {
+      w.label = "run";
+    }
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
 }  // namespace
 
-ExperimentResult run_scenario(const Scenario& s) {
+RunReport run_scenario(const Scenario& s) {
   validate_scenario(s);
 
   const std::size_t n = s.topology.size();
   sim::Simulator sim(s.seed);
 
-  ExperimentResult result;
+  RunReport result;
   result.per_node.resize(n);
   result.timeline = stats::TimeSeries(s.timeline_bucket);
   result.sites.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.sites.push_back(SiteMetrics{s.topology.site_names[i], {}});
   }
+  result.provenance.scenario = s.name;
+  result.provenance.protocol = std::string(to_string(s.protocol));
+  result.provenance.sites = s.topology.site_names;
+  result.provenance.seed = s.seed;
+  result.provenance.duration = s.duration;
+  result.provenance.warmup = s.warmup;
+  result.provenance.build = std::string(build_version());
+  result.windows = plan_windows(s);
 
   std::vector<rsm::DeliveryLog> logs(s.check_consistency ? n : 0);
   std::vector<rsm::KvStore> kvs(n);
@@ -429,6 +524,7 @@ ExperimentResult run_scenario(const Scenario& s) {
   rt::ClusterConfig ccfg;
   ccfg.node = s.node;
   ccfg.fd_timeout_us = s.fd_timeout_us;
+  ccfg.suspect_partitions = s.fd_suspect_partitions;
 
   rt::Cluster cluster(
       sim, s.topology, ccfg, make_factory(s, result.per_node),
@@ -438,14 +534,25 @@ ExperimentResult run_scenario(const Scenario& s) {
         if (pool_ptr != nullptr) pool_ptr->on_delivery(node, cmd);
       });
 
-  wl::ClientPool pool(sim, cluster, s.workload, sim.rng().fork(), s.phases);
+  wl::ClientPool pool(sim, cluster, s.workload, sim.rng().fork(), s.phases,
+                      s.duration);
   pool_ptr = &pool;
+  // Window assignment is by completion instant: windows are half-open
+  // [begin, end) slices in time order and completions arrive in time order,
+  // so a single advancing index suffices; completions at exactly t=duration
+  // clamp into the last window.
+  std::size_t widx = 0;
   pool.set_completion_hook([&](const wl::Completion& c) {
     result.timeline.record(c.complete_time);
     if (c.complete_time < s.warmup) return;
     const Time latency = c.complete_time - c.submit_time;
     result.total_latency.record(latency);
     result.sites[c.site].latency.record(latency);
+    while (widx + 1 < result.windows.size() &&
+           c.complete_time >= result.windows[widx].end) {
+      ++widx;
+    }
+    result.windows[widx].latency.record(latency);
   });
 
   cluster.start();
@@ -482,7 +589,31 @@ ExperimentResult run_scenario(const Scenario& s) {
     });
   }
 
+  // Window-boundary snapshots of the monotone counters. Interior boundaries
+  // fire as events — scheduled before the run starts, so at a shared instant
+  // they execute ahead of activity scheduled later, matching the half-open
+  // window rule — and the final boundary is read after the run.
+  std::vector<BoundarySnap> snaps(result.windows.size() + 1);
+  auto capture = [&result, &pool, &cluster](BoundarySnap& snap) {
+    snap.proto = aggregate_counters(result.per_node);
+    snap.submitted = pool.submitted();
+    snap.messages = cluster.network().messages_delivered();
+    snap.bytes = cluster.network().bytes_sent();
+  };
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    sim.at(result.windows[i].begin, [&capture, &snaps, i] { capture(snaps[i]); });
+  }
+
   sim.run_until(s.duration);
+  capture(snaps.back());
+
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    stats::MetricsWindow& w = result.windows[i];
+    w.submitted = snaps[i + 1].submitted - snaps[i].submitted;
+    w.messages = snaps[i + 1].messages - snaps[i].messages;
+    w.bytes = snaps[i + 1].bytes - snaps[i].bytes;
+    w.proto = snaps[i + 1].proto - snaps[i].proto;
+  }
 
   result.completed = pool.completed();
   result.submitted = pool.submitted();
@@ -506,6 +637,8 @@ ExperimentResult run_scenario(const Scenario& s) {
 
   result.messages = cluster.network().messages_delivered();
   result.bytes = cluster.network().bytes_sent();
+  result.fd_suspicions = cluster.fd_suspicions();
+  result.fd_retractions = cluster.fd_retractions();
   return result;
 }
 
@@ -644,6 +777,49 @@ void register_builtins() {
             .duration(12 * kSec)
             .warmup(1 * kSec)
             .seed(11)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "rate-ramp",
+      "Open-loop arrivals ramping linearly 500 -> 4000 cmd/s across the run "
+      "(ScenarioBuilder::ramp); 2s metrics windows expose the climb",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 100 * kMs;
+        return ScenarioBuilder("rate-ramp")
+            .protocol(ProtocolKind::kCaesar)
+            .conflicts(0.02)
+            .caesar(caesar)
+            .ramp(0, 500.0, 4000.0)
+            .metrics_window(2 * kSec)
+            .duration(12 * kSec)
+            .warmup(0)
+            .seed(17)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "partition-suspect",
+      "FD/partition coupling: the Ohio<->Frankfurt link is cut from t=3s to "
+      "t=9s, far past the 500ms FD timeout, so each side suspects the other "
+      "(recovery of in-flight commands runs against a live owner) and the "
+      "suspicion retracts after the heal",
+      [] {
+        core::CaesarConfig caesar;
+        caesar.gossip_interval_us = 200 * kMs;
+        return ScenarioBuilder("partition-suspect")
+            .protocol(ProtocolKind::kCaesar)
+            .clients_per_site(6)
+            .conflicts(0.10)
+            .caesar(caesar)
+            .partition(1, 2, 3 * kSec)
+            .heal(1, 2, 9 * kSec)
+            .fd_timeout(500 * kMs)
+            .fd_suspect_partitions()
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(19)
             .build();
       }});
 }

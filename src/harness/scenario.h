@@ -14,7 +14,7 @@
 //                    .heal(0, 2, 8 * kSec)
 //                    .duration(12 * kSec)
 //                    .build();
-//   ExperimentResult r = run_scenario(s);
+//   RunReport r = run_scenario(s);
 //
 // Well-known scenarios (the paper's figures and extensions) live in a global
 // registry so benches, examples and the CLI can select them by name.
@@ -29,14 +29,12 @@
 #include "clockrsm/clock_rsm.h"
 #include "core/caesar.h"
 #include "epaxos/epaxos.h"
+#include "harness/run_report.h"
 #include "m2paxos/m2paxos.h"
 #include "mencius/mencius.h"
 #include "multipaxos/multipaxos.h"
 #include "net/topology.h"
 #include "runtime/cluster.h"
-#include "stats/latency_stats.h"
-#include "stats/protocol_stats.h"
-#include "stats/time_series.h"
 #include "workload/client_pool.h"
 
 namespace caesar::harness {
@@ -87,6 +85,10 @@ struct Scenario {
   std::vector<FaultEvent> faults;
   rt::NodeConfig node;
   Time fd_timeout_us = 500 * kMs;
+  /// FD/partition coupling: a peer whose link stays cut past fd_timeout_us
+  /// is suspected by the node on the far side, and the suspicion retracts
+  /// (after another detector delay) once the link heals.
+  bool fd_suspect_partitions = false;
 
   /// Total simulated run length and measurement warmup cutoff.
   Time duration = 12 * kSec;
@@ -105,46 +107,13 @@ struct Scenario {
   /// end (disable only for very long throughput runs).
   bool check_consistency = true;
   Time timeline_bucket = 500 * kMs;
+  /// Fixed metrics-window width (0 = one window per workload phase instead).
+  /// When set, the runner slices [warmup, duration) into windows of this
+  /// width, each with its own latency pool and counter deltas.
+  Time metrics_window_us = 0;
   /// Instants at which to snapshot the aggregate protocol counters (lets
   /// tests compare e.g. fast-path fractions before/during/after a fault).
   std::vector<Time> sample_stats_at;
-};
-
-struct SiteMetrics {
-  std::string name;
-  stats::LatencyStats latency;  // per-completion, measured after warmup
-};
-
-/// Aggregate protocol counters captured mid-run (Scenario::sample_stats_at).
-struct StatsSample {
-  Time at = 0;
-  stats::ProtocolStats proto;
-  std::uint64_t completed = 0;
-};
-
-struct ExperimentResult {
-  std::vector<SiteMetrics> sites;
-  stats::LatencyStats total_latency;
-  /// Completions per second within the measurement window.
-  double throughput_tps = 0.0;
-  std::uint64_t completed = 0;
-  std::uint64_t submitted = 0;
-
-  /// Aggregated and per-node protocol counters.
-  stats::ProtocolStats proto;
-  std::vector<stats::ProtocolStats> per_node;
-
-  /// Completions per timeline bucket (Fig 12).
-  stats::TimeSeries timeline{500 * kMs};
-
-  /// Mid-run snapshots, one per Scenario::sample_stats_at in time order.
-  std::vector<StatsSample> samples;
-
-  bool consistent = true;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-
-  double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
 };
 
 /// Fluent scenario construction. All setters return *this; build() validates
@@ -166,6 +135,7 @@ class ScenarioBuilder {
   ScenarioBuilder& seed(std::uint64_t v);
   ScenarioBuilder& node(rt::NodeConfig v);
   ScenarioBuilder& fd_timeout(Time v);
+  ScenarioBuilder& fd_suspect_partitions(bool v = true);
 
   // Workload.
   ScenarioBuilder& workload(wl::WorkloadConfig v);
@@ -178,6 +148,10 @@ class ScenarioBuilder {
   /// Appends an open-loop phase: Poisson arrivals at `rate_tps` commands/s
   /// (total across sites) starting at `at`.
   ScenarioBuilder& open_loop(Time at, double rate_tps);
+  /// Appends an open-loop phase whose arrival rate ramps linearly from
+  /// `from_tps` to `to_tps` between `at` and the next phase start (or the
+  /// end of the run).
+  ScenarioBuilder& ramp(Time at, double from_tps, double to_tps);
 
   // Fault schedule.
   ScenarioBuilder& crash(NodeId node, Time at);
@@ -197,6 +171,7 @@ class ScenarioBuilder {
 
   ScenarioBuilder& check_consistency(bool v);
   ScenarioBuilder& timeline_bucket(Time v);
+  ScenarioBuilder& metrics_window(Time width);
   ScenarioBuilder& sample_stats_at(Time v);
 
   /// Validates (throws std::invalid_argument on inconsistency) and returns
@@ -214,8 +189,10 @@ class ScenarioBuilder {
 void validate_scenario(const Scenario& s);
 
 /// Runs one scenario to completion. Deterministic in s.seed. Validates
-/// first (see validate_scenario).
-ExperimentResult run_scenario(const Scenario& s);
+/// first (see validate_scenario). The report carries per-window metrics
+/// (per-phase, or fixed-width via Scenario::metrics_window_us) and run
+/// provenance besides the run-wide aggregates.
+RunReport run_scenario(const Scenario& s);
 
 // ---------------------------------------------------------------------------
 // Named scenario registry

@@ -87,9 +87,12 @@ class Encoder {
  private:
   template <class T>
   void put_fixed(T v) {
-    std::byte tmp[sizeof(T)];
-    std::memcpy(tmp, &v, sizeof(T));  // host is little-endian (x86/ARM LE)
-    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+    // resize + memcpy instead of insert(): GCC 12's stringop-overflow
+    // analysis produces false positives on byte-range inserts once the call
+    // is inlined into larger frames, and this compiles to the same memcpy.
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));  // host is little-endian
   }
 
   std::vector<std::byte> buf_;

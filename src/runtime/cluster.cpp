@@ -1,5 +1,7 @@
 #include "runtime/cluster.h"
 
+#include <algorithm>
+
 namespace caesar::rt {
 
 Cluster::Cluster(sim::Simulator& sim, const net::Topology& topo,
@@ -17,6 +19,8 @@ Cluster::Cluster(sim::Simulator& sim, const net::Topology& topo,
       if (on_deliver_) on_deliver_(i, cmd);
     }));
   }
+  link_fd_.assign(n, std::vector<LinkFd>(n));
+  crash_suspects_.assign(n, std::vector<bool>(n, false));
 }
 
 void Cluster::start() {
@@ -29,17 +33,84 @@ void Cluster::recover(NodeId id) {
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (i == id || nodes_[i]->crashed()) continue;
     Node* peer = nodes_[i].get();
-    sim_.after(cfg_.fd_timeout_us, [this, peer, id] {
+    sim_.after(cfg_.fd_timeout_us, [this, peer, i, id] {
       // Re-check the subject too: it may have crashed again meanwhile.
       if (!peer->crashed() && !nodes_[id]->crashed()) {
+        // Only count a retraction when this peer's suspicion actually
+        // fired (a crash+recover inside one FD timeout never suspects).
+        // The upcall itself is unconditional: protocols use it to resync
+        // with the rejoined node regardless.
+        if (crash_suspects_[i][id]) {
+          crash_suspects_[i][id] = false;
+          ++fd_retractions_;
+        }
         peer->protocol().on_node_recovered(id);
       }
     });
   }
 }
 
+Cluster::LinkFd& Cluster::link_fd(NodeId a, NodeId b) {
+  return link_fd_[std::min(a, b)][std::max(a, b)];
+}
+
+void Cluster::arm_partition_fd(NodeId a, NodeId b, std::uint64_t epoch) {
+  sim_.after(cfg_.fd_timeout_us, [this, a, b, epoch] {
+    if (link_fd(a, b).epoch != epoch) return;  // link state changed meanwhile
+    // A crashed endpoint is owned by the crash detector for now, but a cut
+    // that outlives the recovery must still be suspected: keep watching
+    // until both endpoints are alive or the link heals.
+    if (nodes_[a]->crashed() || nodes_[b]->crashed()) {
+      arm_partition_fd(a, b, epoch);
+      return;
+    }
+    suspect_pair(a, b);
+  });
+}
+
+void Cluster::suspect_pair(NodeId a, NodeId b) {
+  LinkFd& fd = link_fd(a, b);
+  // Already suspected and never retracted (the link flapped back down before
+  // the retraction fired): the earlier suspicion still stands, don't issue a
+  // duplicate upcall or double-count it.
+  if (fd.suspected) return;
+  if (nodes_[a]->crashed() || nodes_[b]->crashed()) return;
+  fd.suspected = true;
+  fd_suspicions_ += 2;
+  nodes_[a]->protocol().on_node_suspected(b);
+  nodes_[b]->protocol().on_node_suspected(a);
+}
+
+void Cluster::retract_pair(NodeId a, NodeId b) {
+  LinkFd& fd = link_fd(a, b);
+  if (!fd.suspected) return;
+  fd.suspected = false;
+  // If an endpoint crashed meanwhile, the survivor's suspicion of it is now
+  // justified by the crash (and the crash detector issued its own upcall),
+  // so no retraction is due: drop the partition-level flag only. The
+  // suspicion/retraction counters legitimately stay unbalanced here.
+  if (nodes_[a]->crashed() || nodes_[b]->crashed()) return;
+  fd_retractions_ += 2;
+  nodes_[a]->protocol().on_node_recovered(b);
+  nodes_[b]->protocol().on_node_recovered(a);
+}
+
 void Cluster::set_link(NodeId a, NodeId b, bool up) {
   net_.set_link_up(a, b, up);
+  if (!cfg_.suspect_partitions) return;
+  const std::uint64_t epoch = ++link_fd(a, b).epoch;
+  if (!up) {
+    // Suspect both endpoints after a full detector timeout of outage. The
+    // epoch fence voids the chain if the link flaps before it fires.
+    arm_partition_fd(a, b, epoch);
+  } else if (link_fd(a, b).suspected) {
+    // Heal: the detector notices the peer is reachable again one timeout
+    // later and retracts (the peer's state survived — it never crashed).
+    sim_.after(cfg_.fd_timeout_us, [this, a, b, epoch] {
+      if (link_fd(a, b).epoch != epoch) return;
+      retract_pair(a, b);
+    });
+  }
 }
 
 void Cluster::crash(NodeId id) {
@@ -47,11 +118,15 @@ void Cluster::crash(NodeId id) {
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (i == id || nodes_[i]->crashed()) continue;
     Node* peer = nodes_[i].get();
-    sim_.after(cfg_.fd_timeout_us, [this, peer, id] {
+    sim_.after(cfg_.fd_timeout_us, [this, peer, i, id] {
       // Suspicion is retracted if the subject recovered within the timeout:
       // a live node must not be treated as failed (protocols would start
       // recovering its in-flight commands against the live owner).
       if (!peer->crashed() && nodes_[id]->crashed()) {
+        if (!crash_suspects_[i][id]) {
+          crash_suspects_[i][id] = true;
+          ++fd_suspicions_;
+        }
         peer->protocol().on_node_suspected(id);
       }
     });

@@ -17,6 +17,11 @@ struct ClusterConfig {
   /// Delay between a crash and every live node's failure detector reporting
   /// the suspicion.
   Time fd_timeout_us = 500 * kMs;
+  /// FD/partition coupling: when a link stays cut past fd_timeout_us, each
+  /// endpoint suspects the peer on the far side (an eventually-accurate FD
+  /// cannot tell a partitioned peer from a crashed one); the suspicion is
+  /// retracted one detector delay after the link heals.
+  bool suspect_partitions = false;
 };
 
 class Cluster {
@@ -48,14 +53,41 @@ class Cluster {
 
   /// Cuts (up=false) or restores (up=true) both directions of the a<->b
   /// link — the cluster-level handle fault schedules use for partitions.
+  /// With cfg.suspect_partitions, cutting also arms the failure detector:
+  /// after fd_timeout_us of continuous outage the endpoints suspect each
+  /// other; healing retracts the suspicion after the same delay.
   void set_link(NodeId a, NodeId b, bool up);
 
+  /// Failure-detector upcalls issued so far (one per observer, i.e. a
+  /// partition-induced suspicion counts twice — once on each side).
+  std::uint64_t fd_suspicions() const { return fd_suspicions_; }
+  std::uint64_t fd_retractions() const { return fd_retractions_; }
+
  private:
+  /// Symmetric per-pair state, stored at [min(a,b)][max(a,b)].
+  struct LinkFd {
+    /// Bumped on every set_link for the pair; fences stale FD timers.
+    std::uint64_t epoch = 0;
+    bool suspected = false;
+  };
+  LinkFd& link_fd(NodeId a, NodeId b);
+  void arm_partition_fd(NodeId a, NodeId b, std::uint64_t epoch);
+  void suspect_pair(NodeId a, NodeId b);
+  void retract_pair(NodeId a, NodeId b);
+
   sim::Simulator& sim_;
   net::Network net_;
   ClusterConfig cfg_;
   DeliverHook on_deliver_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::vector<LinkFd>> link_fd_;
+  /// crash_suspects_[peer][subject]: peer's detector currently suspects
+  /// subject because of a crash. Keeps the suspicion/retraction counters
+  /// paired when a node crashes and recovers within one FD timeout (the
+  /// suspicion never fires, so the recovery must not count a retraction).
+  std::vector<std::vector<bool>> crash_suspects_;
+  std::uint64_t fd_suspicions_ = 0;
+  std::uint64_t fd_retractions_ = 0;
 };
 
 }  // namespace caesar::rt

@@ -2,6 +2,10 @@
 // on demand. Experiment runs deliver at most a few million commands, so exact
 // samples are affordable and avoid histogram quantization in the
 // paper-comparison tables.
+//
+// Percentile queries sort a cached copy once and reuse it until the next
+// record/merge/clear — report emitters read five or more percentiles per
+// site, which used to cost a full vector copy + nth_element each.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +21,8 @@ class LatencyStats {
   void record(Time v) {
     samples_.push_back(v);
     sum_ += v;
+    min_ = samples_.size() == 1 ? v : std::min(min_, v);
+    max_ = samples_.size() == 1 ? v : std::max(max_, v);
   }
 
   std::uint64_t count() const { return samples_.size(); }
@@ -27,39 +33,49 @@ class LatencyStats {
                             : static_cast<double>(sum_) / samples_.size();
   }
 
-  Time min() const {
-    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
-  }
+  Time min() const { return samples_.empty() ? 0 : min_; }
+  Time max() const { return samples_.empty() ? 0 : max_; }
 
-  Time max() const {
-    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
-  }
-
-  /// p in [0, 100]. Exact (nth_element over a scratch copy).
+  /// p in [0, 100]. Exact, against a sorted cache that survives until the
+  /// next mutation, so repeated queries after a run cost O(1).
   Time percentile(double p) const {
     if (samples_.empty()) return 0;
-    std::vector<Time> scratch = samples_;
-    const double rank = p / 100.0 * static_cast<double>(scratch.size() - 1);
-    auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(rank);
-    std::nth_element(scratch.begin(), nth, scratch.end());
-    return *nth;
+    ensure_sorted();
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    return sorted_[static_cast<std::size_t>(rank)];
   }
 
   void merge(const LatencyStats& other) {
+    if (other.samples_.empty()) return;
+    const bool was_empty = samples_.empty();
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
     sum_ += other.sum_;
+    min_ = was_empty ? other.min_ : std::min(min_, other.min_);
+    max_ = was_empty ? other.max_ : std::max(max_, other.max_);
   }
 
   void clear() {
     samples_.clear();
+    sorted_.clear();
     sum_ = 0;
   }
 
   const std::vector<Time>& samples() const { return samples_; }
 
  private:
+  /// Samples are append-only between clears, so the cache is stale exactly
+  /// when its size differs from the sample count.
+  void ensure_sorted() const {
+    if (sorted_.size() == samples_.size()) return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
   std::vector<Time> samples_;
+  mutable std::vector<Time> sorted_;
   std::int64_t sum_ = 0;
+  Time min_ = 0;
+  Time max_ = 0;
 };
 
 }  // namespace caesar::stats

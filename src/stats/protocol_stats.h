@@ -1,6 +1,7 @@
 // Counters every protocol implementation exports so the harness can report
 // fast/slow path ratios (paper Fig 10) and CAESAR's phase breakdown and wait
-// times (paper Fig 11).
+// times (paper Fig 11). ProtocolCounters is the plain-counter snapshot the
+// metrics windows subtract to get per-window deltas.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +10,57 @@
 #include "stats/latency_stats.h"
 
 namespace caesar::stats {
+
+/// The monotone counters of a ProtocolStats, snapshottable and subtractable:
+/// window(t0, t1) = snapshot(t1) - snapshot(t0) gives the decisions taken
+/// inside the window, so fast-path fractions can be read per phase without
+/// hand-placed sample points.
+struct ProtocolCounters {
+  std::uint64_t fast_decisions = 0;
+  std::uint64_t slow_decisions = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t slow_proposals = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t waits = 0;
+
+  std::uint64_t decisions() const { return fast_decisions + slow_decisions; }
+
+  double slow_path_fraction() const {
+    const std::uint64_t total = decisions();
+    return total == 0 ? 0.0
+                      : static_cast<double>(slow_decisions) /
+                            static_cast<double>(total);
+  }
+  double fast_path_fraction() const {
+    return decisions() == 0 ? 0.0 : 1.0 - slow_path_fraction();
+  }
+
+  ProtocolCounters& operator+=(const ProtocolCounters& o) {
+    fast_decisions += o.fast_decisions;
+    slow_decisions += o.slow_decisions;
+    retries += o.retries;
+    slow_proposals += o.slow_proposals;
+    recoveries += o.recoveries;
+    waits += o.waits;
+    return *this;
+  }
+
+  /// Counter delta; counters are monotone, so per-field subtraction of an
+  /// earlier snapshot is well-defined.
+  ProtocolCounters operator-(const ProtocolCounters& earlier) const {
+    ProtocolCounters d;
+    d.fast_decisions = fast_decisions - earlier.fast_decisions;
+    d.slow_decisions = slow_decisions - earlier.slow_decisions;
+    d.retries = retries - earlier.retries;
+    d.slow_proposals = slow_proposals - earlier.slow_proposals;
+    d.recoveries = recoveries - earlier.recoveries;
+    d.waits = waits - earlier.waits;
+    return d;
+  }
+
+  friend bool operator==(const ProtocolCounters&,
+                         const ProtocolCounters&) = default;
+};
 
 struct ProtocolStats {
   // Decision paths, counted once per command at its leader.
@@ -27,12 +79,19 @@ struct ProtocolStats {
   LatencyStats retry_phase;     // retry sent -> quorum of acks
   LatencyStats deliver_phase;   // stable known -> command delivered locally
 
-  double slow_path_fraction() const {
-    const std::uint64_t total = fast_decisions + slow_decisions;
-    return total == 0 ? 0.0
-                      : static_cast<double>(slow_decisions) /
-                            static_cast<double>(total);
+  /// Snapshot of the plain counters (no latency pools) for window deltas.
+  ProtocolCounters counters() const {
+    ProtocolCounters c;
+    c.fast_decisions = fast_decisions;
+    c.slow_decisions = slow_decisions;
+    c.retries = retries;
+    c.slow_proposals = slow_proposals;
+    c.recoveries = recoveries;
+    c.waits = waits;
+    return c;
   }
+
+  double slow_path_fraction() const { return counters().slow_path_fraction(); }
 };
 
 }  // namespace caesar::stats

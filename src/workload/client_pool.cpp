@@ -13,12 +13,13 @@ constexpr std::uint64_t kOpenChooserBase = 1ull << 20;
 
 ClientPool::ClientPool(sim::Simulator& sim, rt::Cluster& cluster,
                        WorkloadConfig cfg, Rng rng,
-                       std::vector<PhaseSpec> phases)
+                       std::vector<PhaseSpec> phases, Time horizon)
     : sim_(sim),
       cluster_(cluster),
       cfg_(cfg),
       rng_(std::move(rng)),
-      phases_(std::move(phases)) {
+      phases_(std::move(phases)),
+      horizon_(horizon) {
   if (phases_.empty()) {
     phases_.push_back(
         PhaseSpec::closed_loop(0, cfg_.clients_per_site, cfg_.think_us));
@@ -100,10 +101,34 @@ void ClientPool::enter_phase(const PhaseSpec& phase) {
   } else {
     active_per_site_ = 0;
     arrival_rate_tps_ = phase.arrival_rate_tps;
+    ramp_to_tps_ =
+        phase.mode == PhaseSpec::Mode::kOpenLoopRamp ? phase.ramp_to_tps : 0.0;
+    if (ramp_to_tps_ > 0.0) {
+      // The ramp spans from this phase's start to the next phase's start (or
+      // the run horizon for the last phase; without a horizon the rate holds
+      // at its starting value).
+      ramp_begin_ = phase.at;
+      Time end = horizon_;
+      for (const PhaseSpec& p : phases_) {
+        if (p.at > phase.at && (end <= phase.at || p.at < end)) end = p.at;
+      }
+      if (end <= ramp_begin_) ramp_to_tps_ = 0.0;
+      ramp_end_ = end;
+    } else {
+      ramp_begin_ = ramp_end_ = 0;
+    }
     for (NodeId site = 0; site < cluster_.size(); ++site) {
       schedule_arrival(site, gen_);
     }
   }
+}
+
+double ClientPool::current_rate() const {
+  if (ramp_to_tps_ <= 0.0) return arrival_rate_tps_;
+  const Time t = std::clamp(sim_.now(), ramp_begin_, ramp_end_);
+  const double f = static_cast<double>(t - ramp_begin_) /
+                   static_cast<double>(ramp_end_ - ramp_begin_);
+  return arrival_rate_tps_ + f * (ramp_to_tps_ - arrival_rate_tps_);
 }
 
 void ClientPool::submit_next(std::uint32_t client_idx) {
@@ -126,9 +151,13 @@ void ClientPool::submit_next(std::uint32_t client_idx) {
 }
 
 void ClientPool::schedule_arrival(NodeId site, std::uint64_t gen) {
-  if (arrival_rate_tps_ <= 0.0) return;
+  // Instantaneous rate: exact for constant-rate phases; for linear ramps the
+  // next gap is drawn from the rate at schedule time, which tracks the ramp
+  // closely as long as the rate moves little within one inter-arrival gap.
+  const double rate = current_rate();
+  if (rate <= 0.0) return;
   const double mean_us = static_cast<double>(cluster_.size()) *
-                         static_cast<double>(kSec) / arrival_rate_tps_;
+                         static_cast<double>(kSec) / rate;
   const Time delay =
       std::max<Time>(1, static_cast<Time>(std::llround(rng_.exponential(mean_us))));
   sim_.after(delay, [this, site, gen] {

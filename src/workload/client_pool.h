@@ -40,7 +40,10 @@ struct WorkloadConfig {
 /// One segment of a phased workload. Phases are applied in order of `at`;
 /// the first phase usually starts at 0.
 struct PhaseSpec {
-  enum class Mode { kClosedLoop, kOpenLoop };
+  /// kOpenLoopRamp is an open-loop phase whose rate moves linearly from
+  /// arrival_rate_tps at the phase start to ramp_to_tps at the next phase
+  /// start (or the pool's horizon for the last phase), then holds.
+  enum class Mode { kClosedLoop, kOpenLoop, kOpenLoopRamp };
 
   Time at = 0;
   Mode mode = Mode::kClosedLoop;
@@ -48,8 +51,10 @@ struct PhaseSpec {
   std::uint32_t clients_per_site = 10;
   Time think_us = 0;
   /// Open loop: total Poisson arrival rate (commands/second) summed over
-  /// all sites.
+  /// all sites. For a ramp this is the rate at the start of the phase.
   double arrival_rate_tps = 0.0;
+  /// Ramp only: the rate reached at the end of the ramp.
+  double ramp_to_tps = 0.0;
 
   static PhaseSpec closed_loop(Time at, std::uint32_t clients_per_site,
                                Time think_us = 0) {
@@ -68,6 +73,13 @@ struct PhaseSpec {
     p.arrival_rate_tps = arrival_rate_tps;
     return p;
   }
+
+  static PhaseSpec ramp(Time at, double from_tps, double to_tps) {
+    PhaseSpec p = open_loop(at, from_tps);
+    p.mode = Mode::kOpenLoopRamp;
+    p.ramp_to_tps = to_tps;
+    return p;
+  }
 };
 
 /// One completed request, reported to the completion hook.
@@ -84,8 +96,10 @@ class ClientPool {
 
   /// With an empty `phases` the pool runs a single closed-loop phase built
   /// from `cfg` (clients_per_site/think_us), i.e. the paper's methodology.
+  /// `horizon` is the intended run length; it closes out a ramp in the last
+  /// phase (0 = unknown: a trailing ramp holds its starting rate).
   ClientPool(sim::Simulator& sim, rt::Cluster& cluster, WorkloadConfig cfg,
-             Rng rng, std::vector<PhaseSpec> phases = {});
+             Rng rng, std::vector<PhaseSpec> phases = {}, Time horizon = 0);
 
   void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
 
@@ -128,6 +142,8 @@ class ClientPool {
   bool client_active(std::uint32_t client_idx) const;
   NodeId live_site_for(NodeId preferred) const;
   void enter_phase(const PhaseSpec& phase);
+  /// Instantaneous open-loop arrival rate (linear interpolation on ramps).
+  double current_rate() const;
   void submit_next(std::uint32_t client_idx);
   void schedule_arrival(NodeId site, std::uint64_t gen);
   void open_submit(NodeId site);
@@ -148,6 +164,11 @@ class ClientPool {
   std::uint32_t active_per_site_ = 0;
   Time think_us_ = 0;
   double arrival_rate_tps_ = 0.0;
+  /// Ramp state for the current open-loop phase (ramp_to_tps_ = 0: no ramp).
+  double ramp_to_tps_ = 0.0;
+  Time ramp_begin_ = 0;
+  Time ramp_end_ = 0;
+  Time horizon_ = 0;
   /// Bumped on every phase switch; invalidates stale open-loop arrival
   /// chains and deferred closed-loop submissions.
   std::uint64_t gen_ = 0;

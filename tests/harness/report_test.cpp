@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace caesar::harness {
@@ -51,6 +53,167 @@ TEST(ReportTest, TableHandlesShortRows) {
   std::ostringstream os;
   t.print(os);  // must not crash; missing cells print empty
   EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emitters
+// ---------------------------------------------------------------------------
+
+/// A fully hand-built report with easily-checkable values for the golden
+/// test: two sites, one window, two samples (1ms and 3ms).
+RunReport golden_report() {
+  RunReport r;
+  r.provenance.scenario = "golden";
+  r.provenance.protocol = "Caesar";
+  r.provenance.sites = {"A", "B"};
+  r.provenance.seed = 7;
+  r.provenance.duration = 2 * kSec;
+  r.provenance.warmup = 1 * kSec;
+  r.provenance.build = "test-build";
+
+  r.completed = 2;
+  r.submitted = 3;
+  r.throughput_tps = 2.0;
+  r.messages = 10;
+  r.bytes = 1000;
+  r.consistent = true;
+  r.total_latency.record(1000);
+  r.total_latency.record(3000);
+  r.proto.fast_decisions = 2;
+
+  r.sites.push_back(SiteMetrics{"A", {}});
+  r.sites[0].latency.record(1000);
+  r.sites.push_back(SiteMetrics{"B", {}});
+  r.sites[1].latency.record(3000);
+
+  stats::MetricsWindow w;
+  w.label = "run";
+  w.begin = 1 * kSec;
+  w.end = 2 * kSec;
+  w.phase = -1;
+  w.latency.record(1000);
+  w.latency.record(3000);
+  w.submitted = 3;
+  w.messages = 10;
+  w.bytes = 1000;
+  w.proto.fast_decisions = 2;
+  r.windows.push_back(w);
+
+  r.timeline = stats::TimeSeries(1 * kSec);
+  r.timeline.record(1500 * kMs);
+  return r;
+}
+
+TEST(JsonReportTest, GoldenDocumentIsStable) {
+  // Byte-exact golden: guards the schema. Any change here is a schema
+  // change and must be deliberate.
+  const char* expected =
+      "{\"schema\":\"caesar-run-report/1\","
+      "\"provenance\":{\"scenario\":\"golden\",\"protocol\":\"Caesar\","
+      "\"seed\":7,\"duration_us\":2000000,\"warmup_us\":1000000,"
+      "\"build\":\"test-build\",\"sites\":[\"A\",\"B\"]},"
+      "\"totals\":{\"completed\":2,\"submitted\":3,\"throughput_tps\":2,"
+      "\"messages\":10,\"bytes\":1000,\"consistent\":true,"
+      "\"latency_us\":{\"count\":2,\"mean\":2000,\"min\":1000,\"max\":3000,"
+      "\"p50\":1000,\"p90\":1000,\"p99\":1000},"
+      "\"protocol\":{\"fast_decisions\":2,\"slow_decisions\":0,\"retries\":0,"
+      "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
+      "\"fast_path_fraction\":1}},"
+      "\"windows\":[{\"label\":\"run\",\"begin_us\":1000000,"
+      "\"end_us\":2000000,\"phase\":-1,\"completed\":2,\"submitted\":3,"
+      "\"throughput_tps\":2,\"messages\":10,\"bytes\":1000,"
+      "\"latency_us\":{\"count\":2,\"mean\":2000,\"min\":1000,\"max\":3000,"
+      "\"p50\":1000,\"p90\":1000,\"p99\":1000},"
+      "\"protocol\":{\"fast_decisions\":2,\"slow_decisions\":0,\"retries\":0,"
+      "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
+      "\"fast_path_fraction\":1}}],"
+      "\"sites\":[{\"name\":\"A\",\"latency_us\":{\"count\":1,\"mean\":1000,"
+      "\"min\":1000,\"max\":1000,\"p50\":1000,\"p90\":1000,\"p99\":1000}},"
+      "{\"name\":\"B\",\"latency_us\":{\"count\":1,\"mean\":3000,"
+      "\"min\":3000,\"max\":3000,\"p50\":3000,\"p90\":3000,\"p99\":3000}}],"
+      "\"timeline\":{\"bucket_us\":1000000,\"rates_tps\":[0,1]},"
+      "\"fd\":{\"suspicions\":0,\"retractions\":0}}";
+  EXPECT_EQ(to_json(golden_report()), expected);
+}
+
+TEST(JsonReportTest, DiffSerializesNullRatioWhenUndefined) {
+  RunReportDiff d;
+  d.label_a = "A";
+  d.label_b = "B";
+  d.metrics.push_back(MetricRatio{"zero_base", 0.0, 5.0});
+  d.metrics.push_back(MetricRatio{"halved", 4.0, 2.0});
+  EXPECT_EQ(to_json(d),
+            "{\"a\":\"A\",\"b\":\"B\",\"metrics\":["
+            "{\"metric\":\"zero_base\",\"a\":0,\"b\":5,\"ratio\":null},"
+            "{\"metric\":\"halved\",\"a\":4,\"b\":2,\"ratio\":0.5}]}");
+}
+
+TEST(JsonReportTest, EscapesStrings) {
+  RunReport r = golden_report();
+  r.provenance.scenario = "quo\"te\\back\nline";
+  const std::string out = to_json(r);
+  EXPECT_NE(out.find("quo\\\"te\\\\back\\nline"), std::string::npos);
+}
+
+TEST(JsonReportFileTest, ParsesJsonFlagFromArgvAndWritesDocument) {
+  const std::string path =
+      ::testing::TempDir() + "/caesar_report_file_test.json";
+  const std::string flag = "--json=" + path;
+  const char* argv_c[] = {"bench", flag.c_str()};
+  JsonReportFile file("unit-bench", 2, const_cast<char**>(argv_c));
+  ASSERT_TRUE(file.enabled());
+  EXPECT_EQ(file.path(), path);
+
+  file.add("r1", golden_report());
+  file.add(diff(golden_report(), golden_report()));
+  ASSERT_TRUE(file.write());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"schema\":\"caesar-run-report/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit-bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"label\":\"r1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"diffs\":[{"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReportFileTest, InertWithoutFlag) {
+  const char* argv_c[] = {"bench", "--verbose"};
+  JsonReportFile file("unit-bench", 2, const_cast<char**>(argv_c));
+  EXPECT_FALSE(file.enabled());
+  file.add("r1", golden_report());
+  EXPECT_TRUE(file.write());  // no-op success, writes nothing
+}
+
+TEST(PrintReportTest, RendersSitesWindowsAndTotals) {
+  RunReport r = golden_report();
+  stats::MetricsWindow second = r.windows[0];
+  second.label = "run2";
+  r.windows.push_back(second);  // >1 window -> windows table is printed
+  std::ostringstream os;
+  print_report(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("site"), std::string::npos);
+  EXPECT_NE(out.find("run2"), std::string::npos);
+  EXPECT_NE(out.find("throughput: 2"), std::string::npos);
+  EXPECT_NE(out.find("consistent: yes"), std::string::npos);
+}
+
+TEST(PrintDiffTest, RendersRatiosAndDashesForUndefined) {
+  RunReportDiff d;
+  d.label_a = "left";
+  d.label_b = "right";
+  d.metrics.push_back(MetricRatio{"m1", 2.0, 4.0});
+  d.metrics.push_back(MetricRatio{"m2", 0.0, 4.0});
+  std::ostringstream os;
+  print_diff(d, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("left"), std::string::npos);
+  EXPECT_NE(out.find("2.000x"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
 }
 
 }  // namespace

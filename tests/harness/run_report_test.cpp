@@ -1,0 +1,404 @@
+// RunReport tests: per-phase and fixed-width metrics windows (coverage,
+// no double counting, warmup exclusion), protocol-counter deltas across a
+// crash, A/B diffing, FD/partition coupling and arrival-rate ramps.
+#include "harness/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/scenario.h"
+
+namespace caesar::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-phase windows
+// ---------------------------------------------------------------------------
+
+TEST(MetricsWindowTest, PerPhaseWindowsCoverMeasurementIntervalExactly) {
+  Scenario s = ScenarioBuilder("win-phases")
+                   .topology(net::Topology::lan(3))
+                   .closed_loop(0, 4)
+                   .open_loop(2 * kSec, 300.0)
+                   .open_loop(4 * kSec, 900.0)
+                   .duration(6 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(5)
+                   .build();
+  RunReport r = run_scenario(s);
+
+  ASSERT_EQ(r.windows.size(), 3u);
+  EXPECT_EQ(r.windows[0].label, "phase0");
+  EXPECT_EQ(r.windows[1].label, "phase1");
+  EXPECT_EQ(r.windows[2].label, "phase2");
+  EXPECT_EQ(r.windows[0].phase, 0);
+  EXPECT_EQ(r.windows[1].phase, 1);
+  EXPECT_EQ(r.windows[2].phase, 2);
+
+  // Contiguous half-open slices from warmup to the end of the run: the first
+  // window absorbs the tail of the phase that started before warmup.
+  EXPECT_EQ(r.windows[0].begin, 1 * kSec);
+  EXPECT_EQ(r.windows[0].end, 2 * kSec);
+  EXPECT_EQ(r.windows[1].begin, 2 * kSec);
+  EXPECT_EQ(r.windows[1].end, 4 * kSec);
+  EXPECT_EQ(r.windows[2].begin, 4 * kSec);
+  EXPECT_EQ(r.windows[2].end, 6 * kSec);
+
+  // Every measured completion lands in exactly one window (warmup samples in
+  // none): the window counts sum to the run-wide count.
+  std::uint64_t window_total = 0;
+  for (const auto& w : r.windows) {
+    EXPECT_GT(w.completed(), 0u) << w.label;
+    window_total += w.completed();
+  }
+  EXPECT_EQ(window_total, r.total_latency.count());
+  // Warmup really was excluded: completions exist before the cutoff (the
+  // timeline sees them) but no window counted them.
+  EXPECT_GT(r.completed, window_total);
+
+  // Tripling the open-loop rate at 4s shows up as a per-window throughput
+  // step (both rates sit far below saturation).
+  EXPECT_GT(r.windows[2].throughput_tps(), 2.0 * r.windows[1].throughput_tps());
+
+  // Lookup by label.
+  ASSERT_NE(r.window("phase1"), nullptr);
+  EXPECT_EQ(r.window("phase1")->begin, 2 * kSec);
+  EXPECT_EQ(r.window("nope"), nullptr);
+}
+
+TEST(MetricsWindowTest, UnphasedScenarioGetsSingleRunWindow) {
+  Scenario s = ScenarioBuilder("win-single")
+                   .topology(net::Topology::lan(3))
+                   .clients_per_site(3)
+                   .duration(3 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(3)
+                   .build();
+  RunReport r = run_scenario(s);
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_EQ(r.windows[0].label, "run");
+  EXPECT_EQ(r.windows[0].phase, -1);
+  EXPECT_EQ(r.windows[0].begin, 1 * kSec);
+  EXPECT_EQ(r.windows[0].end, 3 * kSec);
+  EXPECT_EQ(r.windows[0].completed(), r.total_latency.count());
+  // The run-wide throughput and the single window's agree.
+  EXPECT_NEAR(r.windows[0].throughput_tps(), r.throughput_tps,
+              1e-9 * r.throughput_tps);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width windows and counter deltas
+// ---------------------------------------------------------------------------
+
+TEST(MetricsWindowTest, FixedWindowDeltasSumToRunTotalsAcrossACrash) {
+  core::CaesarConfig caesar;
+  caesar.gossip_interval_us = 200 * kMs;
+  wl::WorkloadConfig w;
+  w.clients_per_site = 8;
+  w.conflict_fraction = 0.05;
+  w.reconnect_delay_us = 1 * kSec;
+  Scenario s = ScenarioBuilder("win-crash")
+                   .protocol(ProtocolKind::kCaesar)
+                   .workload(w)
+                   .caesar(caesar)
+                   .crash(2, 4 * kSec)
+                   .fd_timeout(500 * kMs)
+                   .metrics_window(2 * kSec)
+                   .duration(8 * kSec)
+                   .warmup(0)
+                   .seed(23)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_TRUE(r.consistent);
+
+  ASSERT_EQ(r.windows.size(), 4u);
+  EXPECT_EQ(r.windows[0].label, "win0");
+  EXPECT_EQ(r.windows[3].label, "win3");
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.windows[i].begin, static_cast<Time>(i) * 2 * kSec);
+    EXPECT_EQ(r.windows[i].end, static_cast<Time>(i + 1) * 2 * kSec);
+  }
+
+  // With warmup = 0 the windows tile the whole run, so their counter deltas
+  // must sum to the final aggregates — decisions, retries, recoveries.
+  stats::ProtocolCounters sum;
+  std::uint64_t completed = 0;
+  for (const auto& win : r.windows) {
+    sum += win.proto;
+    completed += win.completed();
+  }
+  EXPECT_EQ(sum, r.proto.counters());
+  EXPECT_EQ(completed, r.total_latency.count());
+
+  // The crash at 4s is detected at 4.5s; any recovery procedures therefore
+  // run in the third window or later, never before the crash.
+  EXPECT_EQ(r.windows[0].proto.recoveries, 0u);
+  EXPECT_EQ(r.windows[1].proto.recoveries, 0u);
+  if (r.proto.recoveries > 0) {
+    EXPECT_GT(r.windows[2].proto.recoveries + r.windows[3].proto.recoveries,
+              0u);
+  }
+
+  // Network deltas are consistent: monotone counters sliced into windows
+  // can never exceed the run totals.
+  std::uint64_t msg_sum = 0;
+  for (const auto& win : r.windows) msg_sum += win.messages;
+  EXPECT_LE(msg_sum, r.messages);
+  EXPECT_GT(msg_sum, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A/B diffing
+// ---------------------------------------------------------------------------
+
+TEST(RunReportDiffTest, TwoSeedsOfSameScenarioDiffNearUnity) {
+  Scenario s = ScenarioBuilder("diff-seeds")
+                   .topology(net::Topology::lan(3))
+                   .clients_per_site(4)
+                   .duration(4 * kSec)
+                   .warmup(1 * kSec)
+                   .build();
+  s.seed = 1;
+  RunReport a = run_scenario(s);
+  s.seed = 2;
+  RunReport b = run_scenario(s);
+
+  RunReportDiff d = diff(a, b);
+  EXPECT_NE(d.label_a.find("seed=1"), std::string::npos);
+  EXPECT_NE(d.label_b.find("seed=2"), std::string::npos);
+
+  for (const char* metric :
+       {"mean_latency_us", "p50_latency_us", "throughput_tps", "completed",
+        "messages"}) {
+    const MetricRatio* m = d.find(metric);
+    ASSERT_NE(m, nullptr) << metric;
+    ASSERT_TRUE(m->ratio_defined()) << metric;
+    // Same workload, different randomness: metrics agree within 25%.
+    EXPECT_GT(m->ratio(), 0.75) << metric;
+    EXPECT_LT(m->ratio(), 1.25) << metric;
+  }
+
+  // The single "run" windows matched across the reports.
+  EXPECT_NE(d.find("window.run.throughput_tps"), nullptr);
+  EXPECT_EQ(d.find("no-such-metric"), nullptr);
+}
+
+TEST(RunReportDiffTest, ExplicitLabelsOverrideProvenance) {
+  // Config ablations look identical to provenance (same protocol, scenario,
+  // seed); explicit labels keep the document's diffs joinable to its runs.
+  RunReport a, b;
+  a.provenance.protocol = b.provenance.protocol = "Caesar";
+  a.total_latency.record(100);
+  b.total_latency.record(200);
+  RunReportDiff d = diff(a, b, "wait/c=30", "no-wait/c=30");
+  EXPECT_EQ(d.label_a, "wait/c=30");
+  EXPECT_EQ(d.label_b, "no-wait/c=30");
+}
+
+TEST(RunReportDiffTest, RatioUndefinedWhenBaselineIsZero) {
+  MetricRatio m{"x", 0.0, 5.0};
+  EXPECT_FALSE(m.ratio_defined());
+  MetricRatio ok{"y", 2.0, 5.0};
+  ASSERT_TRUE(ok.ratio_defined());
+  EXPECT_DOUBLE_EQ(ok.ratio(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// FD/partition coupling
+// ---------------------------------------------------------------------------
+
+TEST(FdPartitionCouplingTest, LongPartitionSuspectsAndHealRetracts) {
+  RunReport r = run_scenario(make_scenario("partition-suspect"));
+  // The 6s outage is far past the 500ms FD timeout: each endpoint suspected
+  // the other exactly once, and both suspicions retracted after the heal.
+  EXPECT_EQ(r.fd_suspicions, 2u);
+  EXPECT_EQ(r.fd_retractions, 2u);
+  // Suspecting a live, reachable-via-other-links node must stay safe: the
+  // recovery procedures it triggers run against the live owner.
+  EXPECT_TRUE(r.consistent);
+  EXPECT_GT(r.completed, 500u);
+}
+
+TEST(FdPartitionCouplingTest, ShortFlapDoesNotSuspect) {
+  // Cut heals within the FD timeout: the armed suspicion must be fenced off.
+  Scenario s = ScenarioBuilder("flap")
+                   .clients_per_site(4)
+                   .partition(1, 2, 2 * kSec)
+                   .heal(1, 2, 2 * kSec + 200 * kMs)
+                   .fd_timeout(500 * kMs)
+                   .fd_suspect_partitions()
+                   .duration(5 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(29)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_EQ(r.fd_suspicions, 0u);
+  EXPECT_EQ(r.fd_retractions, 0u);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(FdPartitionCouplingTest, DisabledByDefault) {
+  Scenario s = ScenarioBuilder("no-couple")
+                   .clients_per_site(4)
+                   .partition(1, 2, 2 * kSec)
+                   .heal(1, 2, 4 * kSec)
+                   .fd_timeout(500 * kMs)
+                   .duration(6 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(31)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_EQ(r.fd_suspicions, 0u);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(FdPartitionCouplingTest, CrashSuspicionsAreCounted) {
+  RunReport r = run_scenario(make_scenario("crash-recover"));
+  // Frankfurt's crash is suspected by the four survivors; its recovery is
+  // retracted on all four.
+  EXPECT_EQ(r.fd_suspicions, 4u);
+  EXPECT_EQ(r.fd_retractions, 4u);
+}
+
+TEST(FdPartitionCouplingTest, FlapAfterSuspicionDoesNotDoubleCount) {
+  // Cut -> suspect (2.5s) -> heal (5s, retraction armed for 5.5s) -> cut
+  // again (5.2s, voiding the retraction): the re-armed suspicion timer finds
+  // the pair already suspected and must not re-suspect. The final heal
+  // retracts once.
+  Scenario s = ScenarioBuilder("flap-double")
+                   .clients_per_site(4)
+                   .partition(1, 2, 2 * kSec)
+                   .heal(1, 2, 5 * kSec)
+                   .partition(1, 2, 5 * kSec + 200 * kMs)
+                   .heal(1, 2, 8 * kSec)
+                   .fd_timeout(500 * kMs)
+                   .fd_suspect_partitions()
+                   .duration(10 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(37)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_EQ(r.fd_suspicions, 2u);
+  EXPECT_EQ(r.fd_retractions, 2u);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(FdPartitionCouplingTest, CutOutlivingACrashRecoveryIsStillSuspected) {
+  // Node 2 crashes shortly after its link to node 1 is cut and rejoins at
+  // 4s while the cut persists: the partition watch must keep re-arming
+  // through the outage and suspect the pair once both endpoints are alive.
+  wl::WorkloadConfig w;
+  w.clients_per_site = 4;
+  w.reconnect_delay_us = 500 * kMs;
+  Scenario s = ScenarioBuilder("cut-outlives-crash")
+                   .workload(w)
+                   .partition(1, 2, 2 * kSec)
+                   .crash(2, 2 * kSec + 100 * kMs)
+                   .recover(2, 4 * kSec)
+                   .heal(1, 2, 8 * kSec)
+                   .fd_timeout(500 * kMs)
+                   .fd_suspect_partitions()
+                   .duration(10 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(43)
+                   .build();
+  RunReport r = run_scenario(s);
+  // Crash FD: 4 survivors suspect node 2, all 4 retract after the rejoin.
+  // Partition FD: the re-armed watch suspects the 1<->2 pair once node 2 is
+  // back (link still cut), and the heal retracts it.
+  EXPECT_EQ(r.fd_suspicions, 4u + 2u);
+  EXPECT_EQ(r.fd_retractions, 4u + 2u);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(FdPartitionCouplingTest, CrashRecoverWithinTimeoutCountsNothing) {
+  // The crash suspicion never fires (the node is back before the detector
+  // timeout), so the recovery must not count a phantom retraction either.
+  wl::WorkloadConfig w;
+  w.clients_per_site = 4;
+  w.reconnect_delay_us = 500 * kMs;
+  Scenario s = ScenarioBuilder("fast-rejoin")
+                   .workload(w)
+                   .crash(2, 2 * kSec)
+                   .recover(2, 2 * kSec + 200 * kMs)
+                   .fd_timeout(500 * kMs)
+                   .duration(5 * kSec)
+                   .warmup(1 * kSec)
+                   .seed(41)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_EQ(r.fd_suspicions, 0u);
+  EXPECT_EQ(r.fd_retractions, 0u);
+  EXPECT_TRUE(r.consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival-rate ramps
+// ---------------------------------------------------------------------------
+
+TEST(RampTest, RateRampClimbsMonotonicallyAcrossWindows) {
+  RunReport r = run_scenario(make_scenario("rate-ramp"));
+  EXPECT_TRUE(r.consistent);
+  ASSERT_EQ(r.windows.size(), 6u);  // 12s run, 2s fixed windows
+  for (std::size_t i = 1; i < r.windows.size(); ++i) {
+    EXPECT_GT(r.windows[i].throughput_tps(),
+              r.windows[i - 1].throughput_tps())
+        << "window " << i;
+  }
+  // 500 -> 4000 tps ramp: the last window runs several times hotter than the
+  // first, and both ends track the configured rates (window midpoints sit at
+  // ~790 and ~3700 tps).
+  EXPECT_GT(r.windows.back().throughput_tps(),
+            3.0 * r.windows.front().throughput_tps());
+  EXPECT_NEAR(r.windows.front().throughput_tps(), 790.0, 160.0);
+  EXPECT_NEAR(r.windows.back().throughput_tps(), 3700.0, 400.0);
+}
+
+TEST(RampTest, RampIsDeterministicInSeed) {
+  const Scenario s = make_scenario("rate-ramp");
+  RunReport a = run_scenario(s);
+  RunReport b = run_scenario(s);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_DOUBLE_EQ(a.total_latency.mean(), b.total_latency.mean());
+}
+
+TEST(RampTest, RampValidationRejectsNonPositiveTarget) {
+  for (double target : {-1.0, 0.0}) {
+    Scenario s;
+    s.phases = {wl::PhaseSpec::ramp(0, 100.0, target)};
+    EXPECT_THROW(validate_scenario(s), std::invalid_argument) << target;
+  }
+  // A zero *starting* rate is equally rejected (open-loop rule).
+  Scenario s;
+  s.phases = {wl::PhaseSpec::ramp(0, 0.0, 100.0)};
+  EXPECT_THROW(validate_scenario(s), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+TEST(ProvenanceTest, ReportIdentifiesItsRun) {
+  Scenario s = ScenarioBuilder("prov-test")
+                   .protocol(ProtocolKind::kEPaxos)
+                   .topology(net::Topology::lan(3))
+                   .clients_per_site(2)
+                   .duration(2 * kSec)
+                   .warmup(0)
+                   .seed(99)
+                   .build();
+  RunReport r = run_scenario(s);
+  EXPECT_EQ(r.provenance.scenario, "prov-test");
+  EXPECT_EQ(r.provenance.protocol, "EPaxos");
+  EXPECT_EQ(r.provenance.seed, 99u);
+  EXPECT_EQ(r.provenance.duration, 2 * kSec);
+  EXPECT_EQ(r.provenance.warmup, 0);
+  EXPECT_EQ(r.provenance.sites.size(), 3u);
+  EXPECT_EQ(r.provenance.build, std::string(build_version()));
+  EXPECT_FALSE(r.provenance.build.empty());
+}
+
+}  // namespace
+}  // namespace caesar::harness

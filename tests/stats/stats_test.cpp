@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "stats/latency_stats.h"
+#include "stats/metrics_window.h"
 #include "stats/protocol_stats.h"
 #include "stats/time_series.h"
 
@@ -43,6 +44,47 @@ TEST(LatencyStatsTest, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.mean(), 20.0);
 }
 
+TEST(LatencyStatsTest, PercentileCacheInvalidatedByRecord) {
+  // The sorted cache must refresh when samples arrive after a query.
+  LatencyStats s;
+  for (Time v = 1; v <= 10; ++v) s.record(v);
+  EXPECT_EQ(s.percentile(100), 10);
+  s.record(1000);
+  EXPECT_EQ(s.percentile(100), 1000);
+  EXPECT_EQ(s.percentile(0), 1);
+  EXPECT_EQ(s.max(), 1000);
+}
+
+TEST(LatencyStatsTest, PercentileCacheInvalidatedByMerge) {
+  LatencyStats a, b;
+  a.record(10);
+  EXPECT_EQ(a.percentile(50), 10);
+  b.record(5000);
+  b.record(1);
+  a.merge(b);
+  EXPECT_EQ(a.percentile(100), 5000);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 5000);
+  a.clear();
+  EXPECT_EQ(a.percentile(50), 0);
+  a.record(7);
+  EXPECT_EQ(a.percentile(50), 7);
+  EXPECT_EQ(a.min(), 7);
+  EXPECT_EQ(a.max(), 7);
+}
+
+TEST(LatencyStatsTest, RepeatedPercentileQueriesStayExact) {
+  // The emitters read five-plus percentiles per pool; all must agree with
+  // the exact distribution regardless of query order.
+  LatencyStats s;
+  for (Time v = 100; v >= 1; --v) s.record(v);  // reverse order
+  EXPECT_EQ(s.percentile(99), 99);
+  EXPECT_EQ(s.percentile(0), 1);
+  EXPECT_EQ(s.percentile(50), 50);
+  EXPECT_EQ(s.percentile(90), 90);
+  EXPECT_EQ(s.percentile(100), 100);
+}
+
 TEST(TimeSeriesTest, BucketsByWidth) {
   TimeSeries ts(1000);
   ts.record(0);
@@ -74,6 +116,55 @@ TEST(ProtocolStatsTest, SlowPathFraction) {
   s.fast_decisions = 70;
   s.slow_decisions = 30;
   EXPECT_DOUBLE_EQ(s.slow_path_fraction(), 0.3);
+}
+
+TEST(ProtocolCountersTest, SnapshotSubtractionGivesWindowDeltas) {
+  ProtocolStats s;
+  s.fast_decisions = 10;
+  s.slow_decisions = 2;
+  s.retries = 1;
+  const ProtocolCounters at_boundary = s.counters();
+
+  s.fast_decisions = 25;
+  s.slow_decisions = 7;
+  s.retries = 3;
+  s.recoveries = 1;
+  const ProtocolCounters delta = s.counters() - at_boundary;
+  EXPECT_EQ(delta.fast_decisions, 15u);
+  EXPECT_EQ(delta.slow_decisions, 5u);
+  EXPECT_EQ(delta.retries, 2u);
+  EXPECT_EQ(delta.recoveries, 1u);
+  EXPECT_DOUBLE_EQ(delta.slow_path_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(delta.fast_path_fraction(), 0.75);
+}
+
+TEST(ProtocolCountersTest, AggregationAndEquality) {
+  ProtocolCounters a, b;
+  a.fast_decisions = 3;
+  b.fast_decisions = 4;
+  b.waits = 2;
+  a += b;
+  EXPECT_EQ(a.fast_decisions, 7u);
+  EXPECT_EQ(a.waits, 2u);
+  EXPECT_EQ(a.decisions(), 7u);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_DOUBLE_EQ(ProtocolCounters{}.fast_path_fraction(), 0.0);
+}
+
+TEST(MetricsWindowTest, ThroughputNormalizesToWindowDuration) {
+  MetricsWindow w;
+  w.begin = 2 * kSec;
+  w.end = 4 * kSec;
+  w.latency.record(100);
+  w.latency.record(200);
+  w.latency.record(300);
+  EXPECT_EQ(w.completed(), 3u);
+  EXPECT_DOUBLE_EQ(w.duration_s(), 2.0);
+  EXPECT_DOUBLE_EQ(w.throughput_tps(), 1.5);
+
+  MetricsWindow degenerate;
+  EXPECT_DOUBLE_EQ(degenerate.throughput_tps(), 0.0);
 }
 
 }  // namespace
