@@ -7,6 +7,7 @@
 //
 //   $ ./examples/bank_ledger
 #include <iostream>
+#include <map>
 
 #include "core/caesar.h"
 #include "rsm/delivery_log.h"

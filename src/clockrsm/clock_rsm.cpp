@@ -31,7 +31,7 @@ void ClockRsm::start() {
 void ClockRsm::clock_tick() {
   const Time now = physical_now();
   if (now > clocks_[env_.id()]) clocks_[env_.id()] = now;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_i64(clocks_[env_.id()]);
   env_.broadcast(kClock, std::move(e), /*include_self=*/false);
   try_deliver();
@@ -46,7 +46,7 @@ void ClockRsm::propose(rsm::Command cmd) {
   if (t > clocks_[env_.id()]) clocks_[env_.id()] = t;
 
   const Stamp stamp{t, env_.id()};
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_i64(t);
   cmd.encode(e);
   log_.emplace(stamp, Entry{std::move(cmd), 1, false, env_.now()});
@@ -63,7 +63,7 @@ void ClockRsm::handle_propose(NodeId from, net::Decoder& d) {
   auto [it, inserted] =
       log_.emplace(Stamp{t, from}, Entry{std::move(cmd), 1, false, 0});
   if (!inserted) return;  // duplicate
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_i64(t);
   e.put_u32(from);
   env_.send(from, kAck, std::move(e));
@@ -85,7 +85,7 @@ void ClockRsm::handle_ack(net::Decoder& d) {
     ++stats_->fast_decisions;  // replicated; Clock-RSM has one decision mode
     stats_->propose_phase.record(env_.now() - entry.proposed_at);
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_i64(t);
   e.put_u32(node);
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);

@@ -53,13 +53,38 @@ class IdSet {
   }
 
   /// Set union in place: this = this ∪ other.
+  ///
+  /// Fast paths cover the shapes the protocols actually produce: replies
+  /// echoing predecessor sets the leader already holds (subset), and sets of
+  /// monotonically minted ids landing after everything seen (append).
   void merge(const IdSet& other) {
     if (other.empty()) return;
+    if (ids_.empty()) {
+      ids_ = other.ids_;
+      return;
+    }
+    if (other.ids_.front() > ids_.back()) {  // disjoint tail: append
+      ids_.insert(ids_.end(), other.ids_.begin(), other.ids_.end());
+      return;
+    }
+    if (is_superset_of(other)) return;  // nothing new: no reallocation
     std::vector<value_type> out;
     out.reserve(ids_.size() + other.ids_.size());
     std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
                    other.ids_.end(), std::back_inserter(out));
     ids_ = std::move(out);
+  }
+
+  /// True when every element of `other` is present in this set.
+  bool is_superset_of(const IdSet& other) const {
+    if (other.ids_.size() > ids_.size()) return false;
+    auto a = ids_.begin();
+    for (value_type v : other.ids_) {
+      a = std::lower_bound(a, ids_.end(), v);
+      if (a == ids_.end() || *a != v) return false;
+      ++a;
+    }
+    return true;
   }
 
   /// True if the two sets share at least one element.

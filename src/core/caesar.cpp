@@ -1,5 +1,6 @@
 #include "core/caesar.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -61,10 +62,7 @@ Caesar::CmdInfo& Caesar::upsert(const rsm::Command& cmd) {
 
 void Caesar::index_erase(const rsm::Command& cmd, const Timestamp& ts) {
   for (const rsm::Op& op : cmd.ops) {
-    auto it = key_index_.find(op.key);
-    if (it == key_index_.end()) continue;
-    it->second.erase(ts);
-    if (it->second.empty()) key_index_.erase(it);
+    key_index_.erase(op.key, ts);
   }
 }
 
@@ -77,7 +75,7 @@ void Caesar::update_entry(CmdInfo& info, const Timestamp& ts, IdSet pred,
   info.ballot = ballot;
   info.forced = forced;
   for (const rsm::Op& op : info.cmd.ops) {
-    key_index_[op.key][ts] = info.cmd.id;
+    key_index_.put(op.key, ts, info.cmd.id);
   }
 }
 
@@ -90,12 +88,12 @@ IdSet Caesar::compute_predecessors(const rsm::Command& cmd, const Timestamp& ts,
   std::vector<std::uint64_t> out;
   Time scanned = 0;
   for (const rsm::Op& op : cmd.ops) {
-    auto ki = key_index_.find(op.key);
-    if (ki == key_index_.end()) continue;
-    for (auto it = ki->second.begin();
-         it != ki->second.end() && it->first < ts; ++it) {
+    const KeyIndex::EntryList* list = key_index_.find(op.key);
+    if (list == nullptr) continue;
+    const auto below = KeyIndex::lower_bound(*list, ts);
+    for (auto it = list->begin(); it != below; ++it) {
       ++scanned;
-      const CmdId other = it->second;
+      const CmdId other = it->id;
       if (other == cmd.id) continue;
       if (!whitelist.has_value()) {
         out.push_back(other);
@@ -130,15 +128,16 @@ IdSet Caesar::cmds_with_lower_ts(const rsm::Command& cmd, const Timestamp& ts) {
 }
 
 Caesar::ConflictScan Caesar::scan_conflicts(const rsm::Command& cmd,
-                                            const Timestamp& ts) {
+                                            const Timestamp& ts,
+                                            std::vector<CmdId>* blockers) {
   ConflictScan result;
   Time scanned = 0;
   for (const rsm::Op& op : cmd.ops) {
-    auto ki = key_index_.find(op.key);
-    if (ki == key_index_.end()) continue;
-    for (auto it = ki->second.upper_bound(ts); it != ki->second.end(); ++it) {
+    const KeyIndex::EntryList* list = key_index_.find(op.key);
+    if (list == nullptr) continue;
+    for (auto it = KeyIndex::upper_bound(*list, ts); it != list->end(); ++it) {
       ++scanned;
-      const CmdId other = it->second;
+      const CmdId other = it->id;
       if (other == cmd.id) continue;
       auto hit = history_.find(other);
       if (hit == history_.end()) continue;
@@ -148,8 +147,11 @@ Caesar::ConflictScan Caesar::scan_conflicts(const rsm::Command& cmd,
         result.reject = true;
       } else {
         result.blocked = true;  // still in flight: WAIT (paper §IV-A)
+        if (blockers != nullptr) blockers->push_back(other);
       }
-      if (result.reject && result.blocked) break;
+      // When collecting blockers, the full set is needed for registration;
+      // otherwise both answers are known once both flags are set.
+      if (blockers == nullptr && result.reject && result.blocked) break;
     }
   }
   env_.charge_cpu(scanned / kEntriesPerUs);
@@ -187,7 +189,7 @@ void Caesar::fast_proposal_phase(rsm::Command cmd, Ballot ballot, Timestamp ts,
   m.ts = ts;
   m.has_whitelist = whitelist.has_value();
   if (whitelist.has_value()) m.whitelist = *whitelist;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   m.encode(e);
   env_.broadcast(kFastPropose, std::move(e), /*include_self=*/true);
 
@@ -260,7 +262,7 @@ void Caesar::slow_proposal_phase(CmdId id) {
   m.ballot = c.ballot;
   m.ts = c.ts;
   m.pred = c.pred;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   m.encode(e);
   env_.broadcast(kSlowPropose, std::move(e), /*include_self=*/true);
 }
@@ -289,7 +291,7 @@ void Caesar::retry_phase(CmdId id) {
   m.ballot = c.ballot;
   m.ts = c.ts;
   m.pred = c.pred;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   m.encode(e);
   env_.broadcast(kRetry, std::move(e), /*include_self=*/true);
 }
@@ -319,7 +321,7 @@ void Caesar::stable_phase(CmdId id) {
   m.ballot = c.ballot;
   m.ts = c.ts;
   m.pred = c.pred;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   m.encode(e);
   env_.broadcast(kStable, std::move(e), /*include_self=*/true);
 }
@@ -353,10 +355,13 @@ void Caesar::handle_fast_propose(NodeId from, net::Decoder& d) {
   p.ts = m.ts;
   p.slow = false;
   p.parked_at = env_.now();
-  const ConflictScan scan = scan_conflicts(info.cmd, m.ts);
+  std::vector<CmdId> blockers;
+  // Collect blockers only when waiting is on: the no-wait ablation must keep
+  // the seed's early-exit scan (and its CPU charge) since it never parks.
+  const ConflictScan scan =
+      scan_conflicts(info.cmd, m.ts, cfg_.wait_enabled ? &blockers : nullptr);
   if (cfg_.wait_enabled && scan.blocked) {
-    parked_.push_back(std::move(p));
-    if (stats_ != nullptr) ++stats_->waits;
+    park_proposal(std::move(p), blockers);
     return;
   }
   answer_proposal(p);
@@ -379,10 +384,11 @@ void Caesar::handle_slow_propose(NodeId from, net::Decoder& d) {
   p.slow = true;
   p.msg_pred = std::move(m.pred);
   p.parked_at = env_.now();
-  const ConflictScan scan = scan_conflicts(info.cmd, m.ts);
+  std::vector<CmdId> blockers;
+  const ConflictScan scan =
+      scan_conflicts(info.cmd, m.ts, cfg_.wait_enabled ? &blockers : nullptr);
   if (cfg_.wait_enabled && scan.blocked) {
-    parked_.push_back(std::move(p));
-    if (stats_ != nullptr) ++stats_->waits;
+    park_proposal(std::move(p), blockers);
     return;
   }
   answer_proposal(p);
@@ -423,39 +429,94 @@ void Caesar::answer_proposal(const Parked& p) {
     r.pred = cmds_with_lower_ts(info.cmd, r.ts);
     update_entry(info, r.ts, r.pred, Status::kRejected, p.ballot, info.forced);
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   r.encode(e);
   env_.send(p.leader, p.slow ? kSlowProposeReply : kFastProposeReply,
             std::move(e));
 }
 
-void Caesar::reevaluate_parked() {
-  if (parked_.empty()) return;
-  std::vector<Parked> keep;
-  keep.reserve(parked_.size());
-  for (Parked& p : parked_) {
+void Caesar::register_waiters(std::uint64_t ticket, const Parked& p,
+                              std::vector<CmdId>& blockers) {
+  // A rival spanning several of the proposal's keys is collected once per
+  // shared key; registering it once is enough.
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                 blockers.end());
+  for (CmdId b : blockers) {
+    park_waiters_[b].emplace_back(ticket, p.wait_epoch);
+  }
+}
+
+void Caesar::park_proposal(Parked p, std::vector<CmdId>& blockers) {
+  const std::uint64_t ticket = next_park_ticket_++;
+  p.wait_epoch = 1;
+  register_waiters(ticket, p, blockers);
+  parked_tickets_[p.cmd].push_back(ticket);
+  parked_.emplace(ticket, std::move(p));
+  if (stats_ != nullptr) ++stats_->waits;
+}
+
+void Caesar::release_parked(std::uint64_t ticket, const Parked& p,
+                            bool record_wait) {
+  if (record_wait && stats_ != nullptr) {
+    stats_->wait_time.record(env_.now() - p.parked_at);
+  }
+  auto tit = parked_tickets_.find(p.cmd);
+  if (tit != parked_tickets_.end()) {
+    std::erase(tit->second, ticket);
+    if (tit->second.empty()) parked_tickets_.erase(tit);
+  }
+  parked_.erase(ticket);
+  // Stale park_waiters_ references die lazily on their blocker's wake.
+}
+
+void Caesar::wake_dependents(CmdId id) {
+  // Proposals parked for `id` itself are moot: its status just advanced past
+  // the proposal stage, so the wait can no longer produce a useful vote.
+  auto tit = parked_tickets_.find(id);
+  if (tit != parked_tickets_.end()) {
+    std::vector<std::uint64_t> tickets = std::move(tit->second);
+    parked_tickets_.erase(tit);
+    for (std::uint64_t ticket : tickets) {
+      auto pit = parked_.find(ticket);
+      if (pit != parked_.end()) release_parked(ticket, pit->second);
+    }
+  }
+
+  auto wit = park_waiters_.find(id);
+  if (wit == park_waiters_.end()) return;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> waiters =
+      std::move(wit->second);
+  park_waiters_.erase(wit);
+  for (const auto& [ticket, epoch] : waiters) {
+    auto pit = parked_.find(ticket);
+    if (pit == parked_.end() || pit->second.wait_epoch != epoch) continue;
+    Parked& p = pit->second;
     auto hit = history_.find(p.cmd);
-    if (hit == history_.end()) continue;  // pruned: drop silently
+    if (hit == history_.end()) {  // pruned: drop silently
+      release_parked(ticket, p, /*record_wait=*/false);
+      continue;
+    }
     CmdInfo& info = hit->second;
     if (info.ballot > p.ballot || info.status == Status::kStable ||
         info.status == Status::kAccepted) {
       // The command moved on without our vote; the wait is moot.
-      if (stats_ != nullptr) {
-        stats_->wait_time.record(env_.now() - p.parked_at);
-      }
+      release_parked(ticket, p);
       continue;
     }
-    const ConflictScan scan = scan_conflicts(info.cmd, p.ts);
+    std::vector<CmdId> blockers;
+    const ConflictScan scan = scan_conflicts(info.cmd, p.ts, &blockers);
     if (scan.blocked) {
-      keep.push_back(std::move(p));
+      // Still blocked, possibly by different rivals now: re-register under
+      // the current blocker set. The epoch bump invalidates older entries.
+      ++p.wait_epoch;
+      register_waiters(ticket, p, blockers);
       continue;
     }
-    if (stats_ != nullptr) {
-      stats_->wait_time.record(env_.now() - p.parked_at);
-    }
-    answer_proposal(p);
+    const Parked answered = std::move(p);
+    release_parked(ticket, answered);
+    answer_proposal(answered);
   }
-  parked_ = std::move(keep);
 }
 
 // --------------------------------------------------------------------------
@@ -509,7 +570,7 @@ void Caesar::handle_retry(NodeId from, net::Decoder& d) {
     // guarantees the attributes match; answer consistently if they do.
     if (info.ts != m.ts) return;
     RetryReplyMsg r{id, m.ballot, info.ts, info.pred};
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     r.encode(e);
     env_.send(from, kRetryReply, std::move(e));
     return;
@@ -518,11 +579,11 @@ void Caesar::handle_retry(NodeId from, net::Decoder& d) {
   deps.merge(m.pred);
   update_entry(info, m.ts, deps, Status::kAccepted, m.ballot, false);
   RetryReplyMsg r{id, m.ballot, m.ts, std::move(deps)};
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   r.encode(e);
   env_.send(from, kRetryReply, std::move(e));
   // An accepted status can unblock parked proposals (paper Fig 3 line 5).
-  reevaluate_parked();
+  wake_dependents(id);
 }
 
 void Caesar::handle_retry_reply(NodeId from, net::Decoder& d) {
@@ -558,7 +619,7 @@ void Caesar::make_stable(const rsm::Command& cmd, Ballot ballot,
                info.forced);
   break_loops(cmd.id);
   try_deliver(cmd.id);
-  reevaluate_parked();
+  wake_dependents(cmd.id);
 }
 
 void Caesar::break_loops(CmdId id) {
@@ -661,7 +722,7 @@ void Caesar::start_recovery(CmdId id) {
   RecoveryCoordinator& rc = recovery_[id];
   rc.ballot = nb;
   RecoveryMsg m{id, nb};
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   m.encode(e);
   // Broadcast includes self: our own reply (and ballot join) loops back.
   env_.broadcast(kRecovery, std::move(e), /*include_self=*/true);
@@ -699,7 +760,7 @@ void Caesar::handle_recovery(NodeId from, net::Decoder& d) {
     r.info_ballot = info.ballot;
     r.forced = info.forced;
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   r.encode(e);
   env_.send(from, kRecoveryReply, std::move(e));
 }
@@ -841,7 +902,7 @@ void Caesar::gossip_tick() {
     GossipMsg m;
     m.delivered = IdSet::from_vector(gossip_outbox_);
     gossip_outbox_.clear();
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     m.encode(e);
     env_.broadcast(kGossip, std::move(e), /*include_self=*/false);
     for (std::uint64_t id : m.delivered) {

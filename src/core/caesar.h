@@ -23,13 +23,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/caesar_messages.h"
+#include "core/key_index.h"
 #include "core/timestamp.h"
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
@@ -128,6 +128,9 @@ class Caesar final : public rt::Protocol {
     bool slow = false;  // true when parked by a SlowPropose
     IdSet msg_pred;     // pred carried by a SlowPropose
     Time parked_at = 0;
+    /// Bumped on every (re-)registration in the waiter index; wake entries
+    /// carrying an older epoch are stale and skipped.
+    std::uint64_t wait_epoch = 0;
   };
 
   // ---- message handlers -----------------------------------------------------
@@ -159,14 +162,30 @@ class Caesar final : public rt::Protocol {
   /// One pass over the conflict index: does anything block (pending rival
   /// with greater ts, us not among its predecessors) or force a NACK
   /// (accepted/stable such rival)? Implements WAIT of paper Fig 3.
+  /// With `blockers`, every blocking rival is collected (no early exit) so a
+  /// parked proposal can register for exactly the wakeups that matter to it.
   struct ConflictScan {
     bool blocked = false;
     bool reject = false;
   };
-  ConflictScan scan_conflicts(const rsm::Command& cmd, const Timestamp& ts);
+  ConflictScan scan_conflicts(const rsm::Command& cmd, const Timestamp& ts,
+                              std::vector<CmdId>* blockers = nullptr);
   /// Finishes a proposal that is (no longer) blocked: replies OK or NACK.
   void answer_proposal(const Parked& p);
-  void reevaluate_parked();
+  /// Parks `p` and registers it in the waiter index under its blockers
+  /// (deduplicated in place).
+  void park_proposal(Parked p, std::vector<CmdId>& blockers);
+  /// Registers `ticket` under every blocker at p's current wait epoch; the
+  /// one registration path park_proposal and wake_dependents share.
+  void register_waiters(std::uint64_t ticket, const Parked& p,
+                        std::vector<CmdId>& blockers);
+  /// Re-evaluates exactly the proposals waiting on `id` after its status
+  /// advanced to accepted/stable; replaces the seed's full parked_ rescan.
+  void wake_dependents(CmdId id);
+  /// Removes one parked entry, optionally recording its wait time (pruned
+  /// commands release silently, like the seed's rescan).
+  void release_parked(std::uint64_t ticket, const Parked& p,
+                      bool record_wait = true);
 
   // ---- history / index maintenance ------------------------------------------
   CmdInfo& upsert(const rsm::Command& cmd);
@@ -203,12 +222,26 @@ class Caesar final : public rt::Protocol {
   std::unordered_map<CmdId, CmdInfo> history_;
   std::unordered_map<CmdId, Ballot> ballots_;
   /// Per-key conflict index ordered by timestamp — the paper's red-black
-  /// tree of conflicting commands (§VI).
-  std::unordered_map<Key, std::map<Timestamp, CmdId>> key_index_;
+  /// tree of conflicting commands (§VI), flattened to sorted vectors.
+  KeyIndex key_index_;
 
   std::unordered_map<CmdId, Coordinator> coord_;
   std::unordered_map<CmdId, RecoveryCoordinator> recovery_;
-  std::vector<Parked> parked_;
+
+  // --- wait-condition waiter index ---
+  // Parked proposals keyed by a monotone ticket; per-blocker wakeup lists
+  // mirror delivery_waiters_: a status change re-evaluates only the
+  // proposals it can actually unblock, not the whole parked set.
+  std::uint64_t next_park_ticket_ = 1;
+  std::unordered_map<std::uint64_t, Parked> parked_;
+  /// blocker cmd -> (ticket, wait_epoch) of proposals waiting on it. Entries
+  /// whose epoch no longer matches the parked entry are stale (the proposal
+  /// re-registered or was released) and are skipped on wake.
+  std::unordered_map<CmdId, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      park_waiters_;
+  /// cmd -> tickets parked for that cmd itself (released as moot when the
+  /// cmd's own status advances past the proposal stage).
+  std::unordered_map<CmdId, std::vector<std::uint64_t>> parked_tickets_;
 
   std::unordered_set<CmdId> delivered_;
   /// stable-but-blocked commands waiting for `key` to be delivered.

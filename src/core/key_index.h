@@ -1,0 +1,87 @@
+// Per-key conflict index: for every key, the conflicting commands ordered by
+// timestamp — the paper's red-black tree of §VI, flattened.
+//
+// The IdSet argument applies here too: these per-key sequences are iterated
+// and range-scanned (COMPUTEPREDECESSORS walks everything below a bound, the
+// wait-condition scan walks everything above it) far more often than they are
+// point-mutated, so a contiguous sorted vector beats a node-based std::map —
+// scans are cache-linear and insert/erase are memmoves within one allocation.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/timestamp.h"
+
+namespace caesar::core {
+
+class KeyIndex {
+ public:
+  struct Entry {
+    Timestamp ts;
+    CmdId id;
+  };
+  /// Sorted by ts ascending; timestamps are cluster-unique, so ts is a key.
+  using EntryList = std::vector<Entry>;
+
+  /// Inserts or reassigns the entry at `ts`.
+  void put(Key key, const Timestamp& ts, CmdId id) {
+    EntryList& list = map_[key];
+    auto it = lower_bound(list, ts);
+    if (it != list.end() && it->ts == ts) {
+      it->id = id;
+    } else {
+      list.insert(it, Entry{ts, id});
+    }
+  }
+
+  /// Removes the entry at `ts`; drops the key when its list empties.
+  void erase(Key key, const Timestamp& ts) {
+    auto mi = map_.find(key);
+    if (mi == map_.end()) return;
+    EntryList& list = mi->second;
+    auto it = lower_bound(list, ts);
+    if (it == list.end() || it->ts != ts) return;
+    list.erase(it);
+    if (list.empty()) map_.erase(mi);
+  }
+
+  /// The key's entries, nullptr when the key is unindexed. Never empty.
+  const EntryList* find(Key key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// First entry with ts >= bound (use for "everything below bound" scans).
+  static EntryList::const_iterator lower_bound(const EntryList& list,
+                                               const Timestamp& bound) {
+    return std::lower_bound(
+        list.begin(), list.end(), bound,
+        [](const Entry& e, const Timestamp& t) { return e.ts < t; });
+  }
+
+  /// First entry with ts > bound (use for "everything above bound" scans).
+  static EntryList::const_iterator upper_bound(const EntryList& list,
+                                               const Timestamp& bound) {
+    return std::upper_bound(
+        list.begin(), list.end(), bound,
+        [](const Timestamp& t, const Entry& e) { return t < e.ts; });
+  }
+
+  std::size_t key_count() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+ private:
+  static EntryList::iterator lower_bound(EntryList& list,
+                                         const Timestamp& bound) {
+    return std::lower_bound(
+        list.begin(), list.end(), bound,
+        [](const Entry& e, const Timestamp& t) { return e.ts < t; });
+  }
+
+  std::unordered_map<Key, EntryList> map_;
+};
+
+}  // namespace caesar::core

@@ -132,7 +132,7 @@ void EPaxos::propose(rsm::Command cmd) {
   c.union_deps = deps;
   c.start = env_.now();
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   encode_instance_msg(e, iid, 0, cmd, seq, deps);
   env_.broadcast(kPreAccept, std::move(e), /*include_self=*/false);
 }
@@ -157,7 +157,7 @@ void EPaxos::handle_pre_accept(NodeId from, net::Decoder& d) {
   inst.ballot = m.ballot;
   note_instance(m.iid, m.cmd, seq);
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(m.iid);
   e.put_u64(m.ballot);
   e.put_varint(seq);
@@ -215,7 +215,7 @@ void EPaxos::start_accept_phase(InstanceId iid, std::uint64_t seq, IdSet deps) {
   inst.ballot = c.ballot;
   note_instance(iid, inst.cmd, seq);
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   encode_instance_msg(e, iid, c.ballot, inst.cmd, seq, deps);
   env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
 }
@@ -233,7 +233,7 @@ void EPaxos::handle_accept(NodeId from, net::Decoder& d) {
   inst.ballot = m.ballot;
   note_instance(m.iid, m.cmd, m.seq);
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(m.iid);
   e.put_u64(m.ballot);
   env_.send(from, kAcceptReply, std::move(e));
@@ -271,7 +271,7 @@ void EPaxos::commit(InstanceId iid, std::uint64_t seq, IdSet deps, bool fast) {
     stats_->propose_phase.record(env_.now() - c.start);
   }
   const rsm::Command cmd = instances_[iid].cmd;  // copy: apply_commit mutates
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   encode_instance_msg(e, iid, c.ballot, cmd, seq, deps);
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
   apply_commit(iid, cmd, seq, std::move(deps));
@@ -446,7 +446,7 @@ void EPaxos::start_recovery(InstanceId iid) {
   const Ballot nb = make_ballot(ballot_round(current) + 1, env_.id());
   RecoveryCoordinator& rc = recovery_[iid];
   rc.ballot = nb;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(iid);
   e.put_u64(nb);
   env_.broadcast(kPrepare, std::move(e), /*include_self=*/true);
@@ -467,7 +467,7 @@ void EPaxos::handle_prepare(NodeId from, net::Decoder& d) {
   auto cit = coord_.find(iid);
   if (cit != coord_.end() && cit->second.ballot < ballot) coord_.erase(cit);
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(iid);
   e.put_u64(ballot);
   e.put_u8(static_cast<std::uint8_t>(inst.status));
@@ -535,7 +535,7 @@ void EPaxos::finish_recovery(InstanceId iid) {
     inst.cmd = committed->cmd;
     c.phase = Phase::kDone;
     coord_.erase(iid);
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     encode_instance_msg(e, iid, rc.ballot, committed->cmd, committed->seq,
                         committed->deps);
     env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
@@ -586,7 +586,7 @@ void EPaxos::finish_recovery(InstanceId iid) {
   inst.cmd = noop;
   c.phase = Phase::kDone;
   coord_.erase(iid);
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   encode_instance_msg(e, iid, rc.ballot, noop, 0, IdSet{});
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
   apply_commit(iid, noop, 0, IdSet{});

@@ -184,11 +184,18 @@ std::string json_num(double v) {
   return buf;
 }
 
-void latency_json(std::ostream& os, const stats::LatencyStats& l) {
+/// With `extended`, adds the upper percentiles (p95/p999) the
+/// protocol-internal pools carry: wait times and phase breakdowns are
+/// long-tailed, which the paper's Fig 11 discussion leans on.
+void latency_json(std::ostream& os, const stats::LatencyStats& l,
+                  bool extended = false) {
   os << "{\"count\":" << l.count() << ",\"mean\":" << json_num(l.mean())
      << ",\"min\":" << l.min() << ",\"max\":" << l.max()
-     << ",\"p50\":" << l.percentile(50) << ",\"p90\":" << l.percentile(90)
-     << ",\"p99\":" << l.percentile(99) << "}";
+     << ",\"p50\":" << l.percentile(50) << ",\"p90\":" << l.percentile(90);
+  if (extended) os << ",\"p95\":" << l.percentile(95);
+  os << ",\"p99\":" << l.percentile(99);
+  if (extended) os << ",\"p999\":" << l.percentile(99.9);
+  os << "}";
 }
 
 void counters_json(std::ostream& os, const stats::ProtocolCounters& c) {
@@ -241,7 +248,17 @@ std::string to_json(const RunReport& r) {
   latency_json(os, r.total_latency);
   os << ",\"protocol\":";
   counters_json(os, r.proto.counters());
-  os << "}";
+  // Percentile summaries of the protocol-internal pools (paper Fig 11):
+  // wait-condition park times and the leader's phase breakdown.
+  os << ",\"phase_latency_us\":{\"wait\":";
+  latency_json(os, r.proto.wait_time, /*extended=*/true);
+  os << ",\"propose\":";
+  latency_json(os, r.proto.propose_phase, /*extended=*/true);
+  os << ",\"retry\":";
+  latency_json(os, r.proto.retry_phase, /*extended=*/true);
+  os << ",\"deliver\":";
+  latency_json(os, r.proto.deliver_phase, /*extended=*/true);
+  os << "}}";
 
   os << ",\"windows\":[";
   for (std::size_t i = 0; i < r.windows.size(); ++i) {

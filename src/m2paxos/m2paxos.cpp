@@ -117,7 +117,7 @@ void M2Paxos::route(rsm::Command cmd, std::uint8_t hops) {
     // receiver our epoch knowledge so stale ownership views converge instead
     // of bouncing the command around.
     ++forwarded_;
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     cmd.encode(e);
     e.put_u8(hops + 1);
     e.put_varint(cmd.ops.size());
@@ -182,7 +182,7 @@ void M2Paxos::start_acquisition(rsm::Command cmd) {
       }
     }
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(token);
   e.put_varint(acq.epochs.size());
   for (auto& [key, epoch] : acq.epochs) {
@@ -204,7 +204,7 @@ void M2Paxos::handle_acquire(NodeId from, net::Decoder& d) {
     req.emplace_back(key, epoch);
     if (keys_[key].promised_epoch >= epoch) ok = false;
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(token);
   e.put_bool(ok);
   e.put_varint(req.size());
@@ -393,7 +393,7 @@ void M2Paxos::accept_phase_at(rsm::Command cmd,
     (void)inst;
     round.epoch = std::max(round.epoch, keys_[key].promised_epoch);
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   cmd.encode(e);
   e.put_varint(round.pos.size());
   for (auto& [key, inst] : round.pos) {
@@ -446,7 +446,7 @@ void M2Paxos::handle_accept(NodeId from, net::Decoder& d) {
       }
     }
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(cmd.id);
   e.put_bool(ok);
   env_.send(from, kAcceptReply, std::move(e));
@@ -486,7 +486,7 @@ void M2Paxos::handle_accept_reply(NodeId from, net::Decoder& d) {
     }
     stats_->propose_phase.record(env_.now() - round.start);
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   round.cmd.encode(e);
   e.put_varint(round.pos.size());
   for (auto& [key, inst] : round.pos) {

@@ -66,7 +66,7 @@ void Mencius::on_recover() {
 
 void Mencius::replay_recent_commits(NodeId peer) {
   for (const auto& [slot, cmd] : recent_commits_) {
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     e.put_varint(slot);
     cmd.encode(e);
     e.put_varint(next_own_slot_);
@@ -80,7 +80,7 @@ void Mencius::replay_recent_commits(NodeId peer) {
 
 void Mencius::rebroadcast_pending() {
   for (auto& [slot, p] : pending_) {
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     e.put_varint(slot);
     p.cmd.encode(e);
     e.put_varint(next_own_slot_);
@@ -98,7 +98,7 @@ void Mencius::on_node_recovered(NodeId peer) {
 }
 
 void Mencius::heartbeat() {
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_varint(next_own_slot_);
   env_.broadcast(kFloor, std::move(e), /*include_self=*/false);
   env_.set_timer(cfg_.heartbeat_us, [this] { heartbeat(); });
@@ -109,7 +109,7 @@ void Mencius::propose(rsm::Command cmd) {
   next_own_slot_ += n_;
   floor_[env_.id()] = next_own_slot_;
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_varint(slot);
   cmd.encode(e);
   e.put_varint(next_own_slot_);
@@ -143,7 +143,7 @@ void Mencius::handle_accept(NodeId from, net::Decoder& d) {
   note_floor(from, d.get_varint());
   skip_own_slots_below(slot);
 
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_varint(slot);
   e.put_varint(next_own_slot_);
   env_.send(from, kAccepted, std::move(e));
@@ -162,7 +162,7 @@ void Mencius::handle_accepted(NodeId from, net::Decoder& d) {
         ++stats_->fast_decisions;
         stats_->propose_phase.record(env_.now() - p.start);
       }
-      net::Encoder e;
+      net::Encoder e = env_.encoder();
       e.put_varint(slot);
       p.cmd.encode(e);
       e.put_varint(next_own_slot_);  // only the sender's own floor: see floor_

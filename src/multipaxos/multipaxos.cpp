@@ -13,7 +13,7 @@ void MultiPaxos::propose(rsm::Command cmd) {
     lead(std::move(cmd));
     return;
   }
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   cmd.encode(e);
   forwarded_.emplace(cmd.id, std::move(cmd));
   env_.send(cfg_.leader, kForward, std::move(e));
@@ -22,7 +22,7 @@ void MultiPaxos::propose(rsm::Command cmd) {
 void MultiPaxos::lead(rsm::Command cmd) {
   led_ids_.insert(cmd.id);
   const std::uint64_t index = next_index_++;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(index);
   cmd.encode(e);
   pending_.emplace(index, Pending{std::move(cmd), 1ull << env_.id()});
@@ -56,7 +56,7 @@ void MultiPaxos::handle_accept(NodeId from, net::Decoder& d) {
   const std::uint64_t index = d.get_u64();
   rsm::Command cmd = rsm::Command::decode(d);
   (void)cmd;  // the COMMIT re-carries the command; acceptors just ack here
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(index);
   env_.send(from, kAccepted, std::move(e));
 }
@@ -73,7 +73,7 @@ void MultiPaxos::handle_accepted(NodeId from, net::Decoder& d) {
     return;
   }
   if (stats_ != nullptr) ++stats_->fast_decisions;
-  net::Encoder e;
+  net::Encoder e = env_.encoder();
   e.put_u64(index);
   p.cmd.encode(e);
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
@@ -98,7 +98,7 @@ void MultiPaxos::handle_commit(net::Decoder& d) {
 
 void MultiPaxos::rebroadcast_pending() {
   for (auto& [index, p] : pending_) {
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     e.put_u64(index);
     p.cmd.encode(e);
     env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
@@ -138,7 +138,7 @@ void MultiPaxos::on_recover() {
 
 void MultiPaxos::replay_recent_commits(NodeId peer) {
   for (const auto& [index, cmd] : recent_commits_) {
-    net::Encoder e;
+    net::Encoder e = env_.encoder();
     e.put_u64(index);
     cmd.encode(e);
     if (peer == kAllPeers) {
@@ -156,7 +156,7 @@ void MultiPaxos::on_node_recovered(NodeId peer) {
     // ones it did manage to lead before crashing).
     if (peer == cfg_.leader) {
       for (const auto& [id, cmd] : forwarded_) {
-        net::Encoder e;
+        net::Encoder e = env_.encoder();
         cmd.encode(e);
         env_.send(cfg_.leader, kForward, std::move(e));
       }

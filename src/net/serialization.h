@@ -35,6 +35,31 @@ class Encoder {
   Encoder() = default;
   explicit Encoder(std::size_t reserve) { buf_.reserve(reserve); }
 
+  /// An encoder over a (possibly recycled) buffer whose first two bytes are
+  /// reserved for the runtime's frame header: the node patches the message
+  /// type in at send time and ships the buffer as-is, no framing copy.
+  static Encoder with_frame_header(std::vector<std::byte> buf) {
+    Encoder e;
+    buf.clear();
+    e.buf_ = std::move(buf);
+    e.framed_ = true;
+    e.put_u16(0);  // placeholder for the type tag
+    return e;
+  }
+
+  /// True when this encoder was created by with_frame_header().
+  bool has_frame_header() const { return framed_; }
+
+  /// Overwrites `sizeof(v)` bytes at `off` (must already be written).
+  void patch_u16(std::size_t off, std::uint16_t v) {
+    std::memcpy(buf_.data() + off, &v, sizeof v);  // host is little-endian
+  }
+
+  /// Appends raw bytes with no length prefix (framing internals).
+  void append_raw(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
   void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
 
   void put_u16(std::uint16_t v) { put_fixed(v); }
@@ -96,6 +121,7 @@ class Encoder {
   }
 
   std::vector<std::byte> buf_;
+  bool framed_ = false;
 };
 
 class Decoder {

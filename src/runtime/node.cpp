@@ -19,26 +19,33 @@ void Node::set_protocol(std::unique_ptr<Protocol> protocol) {
   protocol_ = std::move(protocol);
 }
 
-namespace {
-std::shared_ptr<const std::vector<std::byte>> frame(std::uint16_t type,
-                                                    net::Encoder body) {
+std::shared_ptr<const std::vector<std::byte>> Node::finish_frame(
+    std::uint16_t type, net::Encoder body) {
+  if (body.has_frame_header()) {
+    // Fast path (Env::encoder() bodies): the header bytes are already
+    // reserved, so stamping the type finishes the frame in place — the
+    // protocol's encode buffer IS the wire payload, no copy.
+    body.patch_u16(0, type);
+    return pool_->wrap(body.take());
+  }
+  // Compatibility path for ad-hoc encoders: one framing copy into a pooled
+  // buffer.
   std::vector<std::byte> payload = body.take();
-  net::Encoder framed(payload.size() + 2);
-  framed.put_u16(type);
-  std::vector<std::byte> out = framed.take();
-  out.insert(out.end(), payload.begin(), payload.end());
-  return std::make_shared<const std::vector<std::byte>>(std::move(out));
+  net::Encoder framed =
+      net::Encoder::with_frame_header(pool_->acquire(payload.size() + 2));
+  framed.patch_u16(0, type);
+  framed.append_raw(payload);
+  return pool_->wrap(framed.take());
 }
-}  // namespace
 
 void Node::send(NodeId to, std::uint16_t type, net::Encoder body) {
   if (crashed_) return;
-  net_.send(id_, to, frame(type, std::move(body)));
+  net_.send(id_, to, finish_frame(type, std::move(body)));
 }
 
 void Node::broadcast(std::uint16_t type, net::Encoder body, bool include_self) {
   if (crashed_) return;
-  auto bytes = frame(type, std::move(body));
+  auto bytes = finish_frame(type, std::move(body));
   for (NodeId to = 0; to < net_.size(); ++to) {
     if (!include_self && to == id_) continue;
     net_.send(id_, to, bytes);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/network.h"
 #include "runtime/protocol.h"
 
@@ -59,6 +60,9 @@ class Node final : public Env {
   NodeId id() const override { return id_; }
   std::size_t cluster_size() const override { return net_.size(); }
   Time now() const override { return sim_.now(); }
+  net::Encoder encoder() override {
+    return net::Encoder::with_frame_header(pool_->acquire());
+  }
   void send(NodeId to, std::uint16_t type, net::Encoder body) override;
   void broadcast(std::uint16_t type, net::Encoder body,
                  bool include_self) override;
@@ -72,10 +76,14 @@ class Node final : public Env {
   std::uint64_t messages_handled() const { return messages_handled_; }
   Time cpu_busy_time() const { return busy_time_; }
   std::size_t queue_depth() const { return queue_.size(); }
+  const net::BufferPool& buffer_pool() const { return *pool_; }
 
  private:
   void on_packet(NodeId from,
                  std::shared_ptr<const std::vector<std::byte>> bytes);
+  /// Stamps the type tag into the body and wraps it as a pooled payload.
+  std::shared_ptr<const std::vector<std::byte>> finish_frame(
+      std::uint16_t type, net::Encoder body);
   void enqueue(std::function<void()> fn, Time service);
   void run_next();
   void flush_batch();
@@ -84,6 +92,8 @@ class Node final : public Env {
   net::Network& net_;
   NodeId id_;
   NodeConfig cfg_;
+  /// shared_ptr: in-flight payload deleters must outlive the node.
+  std::shared_ptr<net::BufferPool> pool_ = std::make_shared<net::BufferPool>();
   std::unique_ptr<Protocol> protocol_;
   Rng rng_;
   bool crashed_ = false;

@@ -31,6 +31,15 @@ class Env {
   virtual std::size_t cluster_size() const = 0;
   virtual Time now() const = 0;
 
+  /// Message-body encoder for send/broadcast. The runtime's implementation
+  /// recycles buffers through its pool and pre-reserves the frame header, so
+  /// a protocol that encodes into env.encoder() ships its bytes with zero
+  /// copies and zero steady-state allocation; a default-constructed
+  /// net::Encoder still works everywhere, one framing copy slower.
+  virtual net::Encoder encoder() {
+    return net::Encoder::with_frame_header({});
+  }
+
   /// Sends one message; the encoder holds the message body (the runtime
   /// prepends the type tag).
   virtual void send(NodeId to, std::uint16_t type, net::Encoder body) = 0;

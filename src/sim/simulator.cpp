@@ -1,55 +1,98 @@
 #include "sim/simulator.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace caesar::sim {
 
+namespace {
+/// The packed-key limits hold by orders of magnitude in any realistic run;
+/// if one is ever hit, dying loudly beats silently corrupting event keys
+/// (these fire in Release builds too — they are not asserts).
+[[noreturn]] void key_space_exhausted(const char* what) {
+  std::fprintf(stderr, "simulator: %s exhausted the packed event-key space\n",
+               what);
+  std::abort();
+}
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  if (slots_.size() >= kSlotMask) key_space_exhausted("2^24 pending events");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Clearing seq invalidates every outstanding EventId and heap entry for
+  // this occupancy; fn is dropped so captured state isn't pinned.
+  s.seq = 0;
+  s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId Simulator::at(Time t, std::function<void()> fn) {
   if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  if (s.seq >= (1ull << (64 - kSlotBits))) {
+    key_space_exhausted("2^40 schedules");
+  }
+  const std::uint64_t key = (s.seq << kSlotBits) | slot;
+  queue_.push(HeapEntry{t, key});
+  ++live_;
+  return key;
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  tombstones_.insert(id);
+  const std::uint64_t seq = id >> kSlotBits;
+  // seq 0 is the free-slot sentinel: no legitimately issued id carries it,
+  // and matching it against a free slot would double-free the slot.
+  if (seq == 0) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].seq != seq) return false;  // already ran or cancelled
+  release_slot(slot);
+  --live_;
   return true;
 }
 
-void Simulator::pop_and_run() {
-  const Event ev = queue_.top();
-  queue_.pop();
-  auto tomb = tombstones_.find(ev.id);
-  if (tomb != tombstones_.end()) {
-    tombstones_.erase(tomb);
-    return;
+bool Simulator::settle_top() {
+  while (!queue_.empty()) {
+    const std::uint64_t key = queue_.top().key;
+    if (slots_[key & kSlotMask].seq == (key >> kSlotBits)) return true;
+    queue_.pop();  // cancelled (or slot reused): stale entry, discard
   }
-  auto it = handlers_.find(ev.id);
-  assert(it != handlers_.end());
-  // Move the handler out before invoking: the handler may schedule/cancel.
-  std::function<void()> fn = std::move(it->second);
-  handlers_.erase(it);
+  return false;
+}
+
+void Simulator::pop_and_run() {
+  const HeapEntry ev = queue_.top();
+  queue_.pop();
+  const std::uint32_t slot = static_cast<std::uint32_t>(ev.key & kSlotMask);
+  // Move the handler out before invoking: the handler may schedule/cancel,
+  // and releasing first lets the slot be reused immediately.
+  std::function<void()> fn = std::move(slots_[slot].fn);
+  release_slot(slot);
+  --live_;
   now_ = ev.time;
   ++executed_;
   fn();
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    if (tombstones_.count(queue_.top().id) != 0) {
-      tombstones_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    pop_and_run();
-    return true;
-  }
-  return false;
+  if (!settle_top()) return false;
+  pop_and_run();
+  return true;
 }
 
 void Simulator::run() {
@@ -58,12 +101,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (tombstones_.count(queue_.top().id) != 0) {
-      tombstones_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
+  while (settle_top() && queue_.top().time <= t) {
     pop_and_run();
   }
   if (now_ < t) now_ = t;

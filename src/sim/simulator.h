@@ -5,13 +5,18 @@
 // single totally-ordered queue. Two runs with the same seed execute the exact
 // same event sequence, which makes the geo-replication experiments
 // reproducible and lets tests inject crashes at precise instants.
+//
+// Storage layout: handlers live in a slab with an intrusive free list; the
+// min-heap carries plain 16-byte {time, key} records where the key packs the
+// global schedule sequence (FIFO tie-break at equal times) with the slab
+// slot. The sequence is unique for all time, so it also identifies the slot's
+// occupancy: cancellation just invalidates the slot (O(1), no hash lookups
+// anywhere on the hot path) and a stale heap entry — or a stale EventId held
+// by a caller after the slot was reused — can never match a later occupant.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,7 +48,7 @@ class Simulator {
   }
 
   /// Cancels a pending event. Returns false if it already ran or was
-  /// cancelled. Cancellation is lazy (tombstone set) — O(1).
+  /// cancelled. O(1): invalidates the slot; the heap entry dies lazily.
   bool cancel(EventId id);
 
   /// Runs a single event; returns false if the queue is empty.
@@ -58,28 +63,100 @@ class Simulator {
   /// Root random stream; components should fork() their own sub-streams.
   Rng& rng() { return rng_; }
 
-  std::size_t pending_events() const { return queue_.size() - tombstones_.size(); }
+  std::size_t pending_events() const { return live_; }
   std::uint64_t executed_events() const { return executed_; }
+  /// Slab capacity (tests: verifies slot reuse keeps it bounded).
+  std::size_t slab_size() const { return slots_.size(); }
 
  private:
-  struct Event {
+  // An EventId / heap key is (seq << kSlotBits) | slot. 2^24 concurrent
+  // events and 2^40 total schedules are far beyond any run's needs; both
+  // limits are asserted in the implementation.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::function<void()> fn;
+    /// Schedule sequence of the current occupant; 0 when free. Doubles as
+    /// the occupancy check for heap entries and outstanding EventIds.
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  struct HeapEntry {
     Time time;
-    EventId id;
-    // Ordering for the min-heap: earliest time first, then insertion order.
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : id > o.id;
+    std::uint64_t key;  // packed (seq, slot); compares in schedule order
+    bool operator<(const HeapEntry& o) const {
+      return time != o.time ? time < o.time : key < o.key;
     }
   };
 
+  /// 4-ary min-heap: half the levels of a binary heap and all four children
+  /// of a node share one cache line (16-byte entries), which is what the
+  /// event queue spends its time on at realistic depths.
+  class EventHeap {
+   public:
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+    const HeapEntry& top() const { return v_.front(); }
+
+    void push(HeapEntry e) {
+      // Hole-based sift-up: shift parents down into the hole, one store per
+      // level, and place the new entry once.
+      std::size_t i = v_.size();
+      v_.push_back(e);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!(e < v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = e;
+    }
+
+    void pop() {
+      const HeapEntry last = v_.back();
+      v_.pop_back();
+      const std::size_t n = v_.size();
+      if (n == 0) return;
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n) break;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (v_[c] < v_[best]) best = c;
+        }
+        if (!(v_[best] < last)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = last;
+    }
+
+   private:
+    std::vector<HeapEntry> v_;
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  /// True when a live event is at the top of the heap, discarding stale
+  /// entries along the way. The single skip path shared by step()/run_until().
+  bool settle_top();
+
+  /// Runs the topmost live event. Precondition: settle_top() returned true.
   void pop_and_run();
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // fn storage separate from the heap so Event stays trivially copyable.
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::unordered_set<EventId> tombstones_;
+  std::size_t live_ = 0;
+  EventHeap queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   Rng rng_;
 };
 

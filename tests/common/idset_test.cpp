@@ -88,5 +88,56 @@ TEST(IdSetTest, MatchesStdSetUnderRandomOps) {
   for (std::uint64_t v : mine) EXPECT_EQ(v, *it++);
 }
 
+TEST(IdSetTest, MergeSubsetFastPathIsStillUnion) {
+  IdSet a{1, 3, 5, 7, 9};
+  const IdSet b{3, 7};
+  a.merge(b);  // subset: no change
+  EXPECT_EQ(a, (IdSet{1, 3, 5, 7, 9}));
+  a.merge(a);  // self-merge is a subset merge
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(IdSetTest, MergeAppendFastPathIsStillUnion) {
+  IdSet a{1, 2, 3};
+  a.merge(IdSet{10, 11});  // disjoint tail: append path
+  EXPECT_EQ(a, (IdSet{1, 2, 3, 10, 11}));
+  IdSet empty;
+  empty.merge(a);  // into-empty path
+  EXPECT_EQ(empty, a);
+}
+
+TEST(IdSetTest, IsSupersetOf) {
+  const IdSet a{1, 2, 3, 5};
+  EXPECT_TRUE(a.is_superset_of(IdSet{}));
+  EXPECT_TRUE(a.is_superset_of(IdSet{1, 5}));
+  EXPECT_TRUE(a.is_superset_of(a));
+  EXPECT_FALSE(a.is_superset_of(IdSet{1, 4}));
+  EXPECT_FALSE(a.is_superset_of(IdSet{1, 2, 3, 5, 6}));
+  EXPECT_FALSE(IdSet{}.is_superset_of(a));
+}
+
+TEST(IdSetTest, MergeFastPathsMatchStdSetUnderRandomShapes) {
+  std::mt19937_64 rng(31);
+  for (int round = 0; round < 200; ++round) {
+    std::set<std::uint64_t> ra, rb;
+    IdSet a, b;
+    const std::uint64_t span = 1 + rng() % 40;
+    const std::uint64_t offset = rng() % 60;  // overlap varies
+    for (std::uint64_t i = 0; i < span; ++i) {
+      const std::uint64_t va = rng() % 50;
+      const std::uint64_t vb = offset + rng() % 50;
+      a.insert(va);
+      ra.insert(va);
+      b.insert(vb);
+      rb.insert(vb);
+    }
+    ra.insert(rb.begin(), rb.end());
+    a.merge(b);
+    ASSERT_EQ(a.size(), ra.size());
+    auto it = ra.begin();
+    for (std::uint64_t v : a) ASSERT_EQ(v, *it++);
+  }
+}
+
 }  // namespace
 }  // namespace caesar

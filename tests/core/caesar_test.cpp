@@ -227,6 +227,31 @@ TEST(CaesarTest, WaitConditionBeatsImmediateReject) {
       << "wait condition should reduce slow decisions";
 }
 
+TEST(CaesarTest, WaiterIndexDrainsCompletely) {
+  // The per-blocker waiter index must not leak: once every command is
+  // decided and delivered, no proposal may still be parked anywhere —
+  // every registered wakeup fired or was released as moot.
+  Fixture f(5, CaesarConfig{}, net::Topology::ec2_five_sites(), 77);
+  Rng rng(13);
+  for (int i = 0; i < 120; ++i) {
+    const NodeId at = static_cast<NodeId>(rng.uniform_int(5));
+    const Key key = rng.uniform_int(3);  // heavy conflict: many waits
+    f.sim.at(static_cast<Time>(rng.uniform_int(2000)) * kMs,
+             [&f, at, key] { f.submit(at, key); });
+  }
+  f.sim.run();
+  std::uint64_t waits = 0;
+  for (auto& s : f.stats) waits += s.waits;
+  EXPECT_GT(waits, 0u) << "workload was expected to park proposals";
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.caesar(i).parked_count(), 0u)
+        << "node " << i << " leaked parked proposals";
+    ASSERT_EQ(f.logs[i].size(), 120u);
+  }
+  f.expect_consistent();
+  f.expect_caesar_invariants();
+}
+
 TEST(CaesarTest, WaitTimesAreRecorded) {
   Fixture f(5, CaesarConfig{}, net::Topology::ec2_five_sites());
   Rng rng(5);

@@ -1,0 +1,55 @@
+// Determinism guarantees the perf work must not break: identical seeds
+// produce byte-identical report JSON (modulo build provenance), across
+// protocols and under conflict-heavy workloads that exercise the slab event
+// queue, the flat key index and the wait-condition waiter index.
+#include <gtest/gtest.h>
+
+#include "harness/report.h"
+#include "harness/run_report.h"
+#include "harness/scenario.h"
+
+namespace caesar::harness {
+namespace {
+
+std::string run_to_json(ProtocolKind kind, double conflicts,
+                        std::uint64_t seed) {
+  Scenario s = ScenarioBuilder("determinism")
+                   .topology(net::Topology::ec2_five_sites())
+                   .protocol(kind)
+                   .clients_per_site(2)
+                   .conflicts(conflicts)
+                   .duration(1 * kSec)
+                   .warmup(200 * kMs)
+                   .seed(seed)
+                   .build();
+  RunReport r = run_scenario(s);
+  // Modulo provenance: the build string differs across working trees.
+  r.provenance.build = "";
+  return to_json(r);
+}
+
+TEST(DeterminismTest, SameSeedSameJsonCaesarHighConflict) {
+  // High conflict rate drives proposals through the wait condition, so this
+  // covers the waiter-index wakeup order as well as the event queue.
+  const std::string a = run_to_json(ProtocolKind::kCaesar, 0.5, 42);
+  const std::string b = run_to_json(ProtocolKind::kCaesar, 0.5, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"consistent\":true"), std::string::npos);
+}
+
+TEST(DeterminismTest, SameSeedSameJsonEveryProtocol) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kCaesar, ProtocolKind::kEPaxos, ProtocolKind::kMencius,
+        ProtocolKind::kMultiPaxos}) {
+    EXPECT_EQ(run_to_json(kind, 0.2, 7), run_to_json(kind, 0.2, 7))
+        << "protocol kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  EXPECT_NE(run_to_json(ProtocolKind::kCaesar, 0.5, 1),
+            run_to_json(ProtocolKind::kCaesar, 0.5, 2));
+}
+
+}  // namespace
+}  // namespace caesar::harness

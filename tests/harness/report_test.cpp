@@ -80,6 +80,9 @@ RunReport golden_report() {
   r.total_latency.record(1000);
   r.total_latency.record(3000);
   r.proto.fast_decisions = 2;
+  r.proto.wait_time.record(500);
+  r.proto.wait_time.record(1500);
+  r.proto.propose_phase.record(2000);
 
   r.sites.push_back(SiteMetrics{"A", {}});
   r.sites[0].latency.record(1000);
@@ -118,7 +121,16 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"p50\":1000,\"p90\":1000,\"p99\":1000},"
       "\"protocol\":{\"fast_decisions\":2,\"slow_decisions\":0,\"retries\":0,"
       "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
-      "\"fast_path_fraction\":1}},"
+      "\"fast_path_fraction\":1},"
+      "\"phase_latency_us\":{"
+      "\"wait\":{\"count\":2,\"mean\":1000,\"min\":500,\"max\":1500,"
+      "\"p50\":500,\"p90\":500,\"p95\":500,\"p99\":500,\"p999\":500},"
+      "\"propose\":{\"count\":1,\"mean\":2000,\"min\":2000,\"max\":2000,"
+      "\"p50\":2000,\"p90\":2000,\"p95\":2000,\"p99\":2000,\"p999\":2000},"
+      "\"retry\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0},"
+      "\"deliver\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0}}},"
       "\"windows\":[{\"label\":\"run\",\"begin_us\":1000000,"
       "\"end_us\":2000000,\"phase\":-1,\"completed\":2,\"submitted\":3,"
       "\"throughput_tps\":2,\"messages\":10,\"bytes\":1000,"

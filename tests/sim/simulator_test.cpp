@@ -126,5 +126,103 @@ TEST(SimulatorTest, PendingEventCountExcludesCancelled) {
   EXPECT_EQ(sim.pending_events(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Slab storage: generation reuse and cancel/reschedule churn
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorSlabTest, StaleIdCannotCancelSlotSuccessor) {
+  Simulator sim;
+  // Cancel A to free its slot, then schedule B, which reuses it. The stale
+  // EventId for A must not be able to cancel (or double-cancel) B.
+  const EventId a = sim.at(10, [] { FAIL() << "cancelled event ran"; });
+  ASSERT_TRUE(sim.cancel(a));
+  bool b_ran = false;
+  const EventId b = sim.at(10, [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.cancel(a));  // stale id: slot belongs to B now
+  sim.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SimulatorSlabTest, StaleIdOfExecutedEventIsInert) {
+  Simulator sim;
+  const EventId a = sim.at(5, [] {});
+  sim.run();
+  bool b_ran = false;
+  sim.at(10, [&] { b_ran = true; });  // reuses A's slot
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SimulatorSlabTest, SlotReuseKeepsSlabBounded) {
+  Simulator sim;
+  for (int round = 0; round < 1000; ++round) {
+    sim.after(1, [] {});
+    sim.after(2, [] {});
+    sim.run();
+  }
+  // Two concurrent events per round, recycled for 1000 rounds.
+  EXPECT_LE(sim.slab_size(), 2u);
+  EXPECT_EQ(sim.executed_events(), 2000u);
+}
+
+TEST(SimulatorSlabTest, CancelRescheduleStress) {
+  // Randomized churn checked against a reference model: every scheduled
+  // event either fires exactly once at its time or was cancelled exactly
+  // once, and equal-time events fire in schedule order.
+  Simulator sim(99);
+  struct Expect {
+    Time t;
+    std::uint64_t seq;
+  };
+  std::vector<std::pair<EventId, Expect>> pending;
+  std::vector<Expect> fired;
+  std::uint64_t next_seq = 0;
+  std::uint64_t cancelled = 0, scheduled = 0;
+
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const Time t = sim.now() + static_cast<Time>(sim.rng().uniform_int(20));
+      const std::uint64_t seq = next_seq++;
+      const EventId id = sim.at(t, [&fired, t, seq, &sim] {
+        fired.push_back(Expect{std::max(t, sim.now()), seq});
+      });
+      pending.emplace_back(id, Expect{t, seq});
+      ++scheduled;
+    }
+    // Cancel a random third of what is pending.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (sim.rng().uniform_int(3) == 0) {
+        EXPECT_TRUE(sim.cancel(pending[i].first));
+        EXPECT_FALSE(sim.cancel(pending[i].first));  // idempotent
+        ++cancelled;
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    // Run half the horizon, keeping some events pending across rounds.
+    sim.run_until(sim.now() + 10);
+    std::erase_if(pending, [&sim](const auto& p) {
+      return p.second.t <= sim.now();
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(fired.size(), scheduled - cancelled);
+  // Time-ordered, FIFO at equal times.
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_TRUE(fired[i - 1].t < fired[i].t ||
+                (fired[i - 1].t == fired[i].t &&
+                 fired[i - 1].seq < fired[i].seq))
+        << "order violated at " << i;
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Slab stays proportional to the high-water mark of concurrent events,
+  // not to the total scheduled count.
+  EXPECT_LE(sim.slab_size(), 512u);
+}
+
 }  // namespace
 }  // namespace caesar::sim

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON documents and flag regressions.
+
+Understands both JSON formats this repository emits:
+
+* google-benchmark documents (``micro_benchmarks --json <file>``): compares
+  ``items_per_second`` when present (higher is better), otherwise
+  ``cpu_time`` (lower is better), per benchmark name;
+* ``caesar-run-report/1`` documents (any scenario bench or the CLI with
+  ``--json <file>``): compares throughput (higher is better) and latency
+  p50/p99 (lower is better) per run label. Simulated metrics are
+  deterministic for a given seed, so these compare exactly across machines.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+                        [--fail-on-regression] [--filter SUBSTR]
+
+A metric regresses when it is worse than the baseline by more than the
+tolerance fraction. The exit code is 0 unless --fail-on-regression is given
+and at least one regression was found (CI runs report-only by default:
+wall-clock numbers from different machines are indicative, not comparable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+
+@dataclass
+class Metric:
+    name: str
+    value: float
+    higher_is_better: bool
+
+
+def load_metrics(path: str) -> list[Metric]:
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" in doc:
+        return _google_benchmark_metrics(doc)
+    if doc.get("schema") == "caesar-run-report/1":
+        return _run_report_metrics(doc)
+    raise SystemExit(f"{path}: unrecognized document "
+                     "(expected google-benchmark or caesar-run-report/1)")
+
+
+def _google_benchmark_metrics(doc: dict) -> list[Metric]:
+    out = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "items_per_second" in b:
+            out.append(Metric(f"{name}/items_per_second",
+                              float(b["items_per_second"]), True))
+        elif "cpu_time" in b:
+            out.append(Metric(f"{name}/cpu_time", float(b["cpu_time"]), False))
+    return out
+
+
+def _run_report_metrics(doc: dict) -> list[Metric]:
+    out = []
+    for run in doc.get("runs", []):
+        label = run["label"]
+        totals = run["report"]["totals"]
+        out.append(Metric(f"{label}/throughput_tps",
+                          float(totals["throughput_tps"]), True))
+        lat = totals.get("latency_us", {})
+        for p in ("p50", "p99"):
+            if p in lat:
+                out.append(Metric(f"{label}/latency_{p}_us",
+                                  float(lat[p]), False))
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative slowdown before a metric counts "
+                         "as a regression (default 0.10 = 10%%)")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when any metric regresses beyond tolerance")
+    ap.add_argument("--filter", default="",
+                    help="only compare metrics whose name contains SUBSTR")
+    args = ap.parse_args()
+
+    base = {m.name: m for m in load_metrics(args.baseline)}
+    cand = {m.name: m for m in load_metrics(args.candidate)}
+    if args.filter:
+        base = {k: v for k, v in base.items() if args.filter in k}
+        cand = {k: v for k, v in cand.items() if args.filter in k}
+
+    shared = sorted(base.keys() & cand.keys())
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+
+    regressions = []
+    improvements = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'B/A':>8}  verdict")
+    for name in shared:
+        a, b = base[name], cand[name]
+        if a.value == 0:
+            # No meaningful ratio. Equal is fine; otherwise judge by the
+            # metric's direction (a value appearing where the baseline had
+            # none is an improvement for throughput, a regression for time).
+            ratio = 1.0 if b.value == 0 else float("inf")
+            goodness = 1.0 if b.value == 0 else \
+                (float("inf") if a.higher_is_better else 0.0)
+        else:
+            ratio = b.value / a.value
+            # Normalize so "worse" is always goodness < 1 - tolerance.
+            goodness = ratio if a.higher_is_better else \
+                (1.0 / ratio if ratio != 0 else float("inf"))
+        if goodness < 1.0 - args.tolerance:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif goodness > 1.0 + args.tolerance:
+            verdict = "improved"
+            improvements.append(name)
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {a.value:>14.4g}  {b.value:>14.4g}  "
+              f"{ratio:>7.3f}x  {verdict}")
+
+    for name in only_base:
+        print(f"{name:<{width}}  (missing from candidate)")
+    for name in only_cand:
+        print(f"{name:<{width}}  (new in candidate)")
+
+    print(f"\n{len(shared)} compared, {len(improvements)} improved, "
+          f"{len(regressions)} regressed "
+          f"(tolerance {args.tolerance:.0%})")
+    if regressions:
+        print("regressed metrics:")
+        for name in regressions:
+            print(f"  - {name}")
+    if args.fail_on_regression and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
