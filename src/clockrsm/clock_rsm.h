@@ -16,12 +16,24 @@
 //
 // Clock skew is simulated: each node's physical clock is the simulation
 // clock plus a fixed per-node offset within ±max_skew_us.
+//
+// Fault handling (extension): a crashed node freezes its announced clock, so
+// the whole cluster wedges below it. Dead-node revocation resolves that: a
+// designated revoker collects every live peer's knowledge of the dead node's
+// undelivered commands, commits the union cluster-wide, and the frozen clock
+// is excluded from the delivery gate until the node provably returns.
+// Rejoining nodes fetch the delivered suffix they missed from a live peer
+// (chunked rsm::LogSnapshot frames) before resuming; their pre-crash
+// proposals are re-driven at their original stamps when still resolvable and
+// re-stamped fresh when the cluster has moved past them.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
+#include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
 
@@ -33,6 +45,9 @@ struct ClockRsmConfig {
   /// Simulated clock skew bound: each node gets a fixed offset in
   /// [-max_skew_us, +max_skew_us].
   Time max_skew_us = 2 * kMs;
+  /// Progress-watchdog period: a stalled delivery frontier with undelivered
+  /// backlog triggers catch-up; stale revocation rounds are retried.
+  Time catchup_interval_us = 250 * kMs;
 };
 
 class ClockRsm final : public rt::Protocol {
@@ -41,14 +56,21 @@ class ClockRsm final : public rt::Protocol {
            stats::ProtocolStats* stats);
 
   void start() override;
+  void on_recover() override;
+  void on_node_suspected(NodeId peer) override;
+  void on_node_recovered(NodeId peer) override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  void on_catchup_request(NodeId from, net::Decoder& d) override;
+  void on_catchup_reply(NodeId from, net::Decoder& d) override;
   std::string_view name() const override { return "ClockRSM"; }
 
   // --- introspection -------------------------------------------------------
   Time physical_now() const;
   Time known_clock(NodeId node) const { return clocks_[node]; }
   std::size_t undelivered() const { return log_.size(); }
+  bool is_excluded(NodeId node) const { return excluded_[node]; }
+  const rsm::CommandLog& delivered_log() const { return delivered_; }
 
  private:
   enum MsgType : std::uint16_t {
@@ -56,6 +78,10 @@ class ClockRsm final : public rt::Protocol {
     kAck = 2,      // acceptor -> leader: replicated
     kClock = 3,    // periodic clock announcement
     kCommit = 4,   // leader -> all: majority reached
+    kRevokeQuery = 5,     // revoker -> all: report a dead node's commands
+    kRevokeInfo = 6,      // peer -> revoker: undelivered entries it holds
+    kRevokeDecision = 7,  // revoker -> all: commit these, exclude the clock
+    kProposeDead = 8,     // peer -> stale proposer: stamp already passed
   };
 
   /// Timestamps order by (time, node) so stamps are cluster-unique.
@@ -65,19 +91,60 @@ class ClockRsm final : public rt::Protocol {
     auto operator<=>(const Stamp&) const = default;
   };
 
+  /// Stamps pack into the 64-bit order index CommandLog/LogSnapshot use:
+  /// time in the high bits, node in the low byte, preserving stamp order.
+  static std::uint64_t pack(const Stamp& s) {
+    return (static_cast<std::uint64_t>(s.t) << 8) |
+           static_cast<std::uint64_t>(s.node);
+  }
+  static Stamp unpack(std::uint64_t packed) {
+    return Stamp{static_cast<Time>(packed >> 8),
+                 static_cast<NodeId>(packed & 0xFF)};
+  }
+
   struct Entry {
     rsm::Command cmd;
-    std::uint32_t acks = 1;  // proposer counts itself
+    /// Distinct ackers as a bitmask: recovery re-broadcasts cause duplicate
+    /// acks, which must not double-count toward the quorum.
+    std::uint64_t ack_mask = 0;
     bool committed = false;  // majority-replicated
     Time proposed_at = 0;    // leader-side instrumentation (0 on acceptors)
   };
 
+  /// One revocation round this node drives as the designated revoker.
+  struct RevokeRound {
+    /// Revoker frontier at round start: echoed by queries and replies so a
+    /// reply delayed from an earlier round of the same target cannot count
+    /// toward this one.
+    std::uint64_t anchor = 0;
+    std::uint64_t want_mask = 0;
+    std::uint64_t got_mask = 0;
+    std::map<std::uint64_t, rsm::Command> entries;  // packed stamp -> cmd
+    Time last_query = 0;
+  };
+
   void handle_propose(NodeId from, net::Decoder& d);
-  void handle_ack(net::Decoder& d);
+  void handle_ack(NodeId from, net::Decoder& d);
   void handle_commit(net::Decoder& d);
+  void handle_propose_dead(net::Decoder& d);
+  void handle_revoke_query(NodeId from, net::Decoder& d);
+  void handle_revoke_info(NodeId from, net::Decoder& d);
+  void handle_revoke_decision(net::Decoder& d);
   void note_clock(NodeId node, Time value);
+  void deliver_entry(const Stamp& stamp, Entry entry);
   void try_deliver();
   void clock_tick();
+  void catchup_tick();
+  void request_catchup();
+  NodeId designated_revoker() const;
+  void maybe_start_revocations();
+  void start_revocation(NodeId dead);
+  void maybe_decide_revocation(NodeId dead);
+  void apply_revoke_decision(NodeId dead, std::uint64_t ref_frontier,
+                             std::map<std::uint64_t, rsm::Command> entries);
+  void maybe_activate_exclusions();
+  void collect_revoke_info(NodeId dead,
+                           std::map<std::uint64_t, rsm::Command>& out) const;
 
   ClockRsmConfig cfg_;
   stats::ProtocolStats* stats_;
@@ -85,11 +152,47 @@ class ClockRsm final : public rt::Protocol {
   std::size_t cq_;
   Time skew_;
 
-  /// All known commands ordered by stamp; delivered entries are erased.
+  /// All known undelivered commands ordered by stamp.
   std::map<Stamp, Entry> log_;
   /// Latest clock value known per node (a node never stamps below this).
   std::vector<Time> clocks_;
   Time last_stamp_ = 0;  // local monotonicity guard under skew
+
+  /// Delivered commands by packed stamp, retained to serve catch-up.
+  rsm::CommandLog delivered_;
+  /// Delivery frontier: packed stamp bound (exclusive) below which
+  /// everything is resolved here.
+  std::uint64_t frontier_ = 0;
+
+  /// Failure-detector view and revocation state. excluded_[q]: q's frozen
+  /// clock is ignored by the delivery gate (cleared when q returns).
+  std::uint64_t suspected_mask_ = 0;
+  std::vector<bool> excluded_;
+  /// Decisions received while this node's frontier trailed the revoker's:
+  /// the exclusion activates only once catch-up reaches the recorded
+  /// reference frontier, or this node could race past commands it never saw.
+  std::unordered_map<NodeId, std::uint64_t> pending_exclusions_;
+  std::unordered_map<NodeId, RevokeRound> rounds_;
+
+  bool catchup_needed_ = false;
+  NodeId catchup_rotor_ = 0;
+  std::uint64_t last_deliver_mark_ = 0;
+  /// Rejoin soundness fence: commands stamped below a peer's clock at the
+  /// moment our link resumed may have been lost with the outage, so
+  /// catch-up only counts as complete once the replayed frontier passes the
+  /// first clock heard from every live peer after rejoining. Stamps above
+  /// those clocks arrive live (FIFO), so normal delivery is sound there.
+  std::vector<Time> rejoin_clock_fence_;
+  std::uint64_t clock_fence_pending_ = 0;
+  /// Receiver-side resync after a peer's FD retraction: its clock stays
+  /// frozen here (new announcements buffer instead of feeding the delivery
+  /// gate) until catch-up replays everything below its first post-retraction
+  /// announcement — commands it delivered just before crashing may exist
+  /// that this node has never seen, and an unfrozen clock would leap them.
+  std::uint64_t resync_mask_ = 0;
+  std::vector<Time> resync_target_;  // first post-retraction clock (fixed)
+  std::vector<Time> resync_buffer_;  // newest buffered clock
+  void maybe_complete_resyncs();
 };
 
 }  // namespace caesar::clockrsm

@@ -115,6 +115,12 @@ void print_report(const RunReport& r, std::ostream& os) {
     os << "\nfd suspicions: " << r.fd_suspicions
        << "  retractions: " << r.fd_retractions;
   }
+  if (r.proto.catchup_requests > 0 || r.proto.revocations > 0) {
+    os << "\ncatch-up requests: " << r.proto.catchup_requests
+       << "  chunks: " << r.proto.catchup_chunks
+       << "  commands replayed: " << r.proto.catchup_commands
+       << "  revocations: " << r.proto.revocations;
+  }
   os << "\nconsistent: " << (r.consistent ? "yes" : "NO") << "\n";
 }
 
@@ -204,6 +210,10 @@ void counters_json(std::ostream& os, const stats::ProtocolCounters& c) {
      << ",\"retries\":" << c.retries
      << ",\"slow_proposals\":" << c.slow_proposals
      << ",\"recoveries\":" << c.recoveries << ",\"waits\":" << c.waits
+     << ",\"catchup_requests\":" << c.catchup_requests
+     << ",\"catchup_chunks\":" << c.catchup_chunks
+     << ",\"catchup_commands\":" << c.catchup_commands
+     << ",\"revocations\":" << c.revocations
      << ",\"fast_path_fraction\":" << json_num(c.fast_path_fraction()) << "}";
 }
 

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "rsm/delivery_log.h"
+#include "rsm/kvstore.h"
 #include "stats/latency_stats.h"
 #include "stats/metrics_window.h"
 #include "stats/protocol_stats.h"
@@ -93,6 +95,14 @@ struct RunReport {
   /// partition-induced ones when the scenario enables FD/partition coupling).
   std::uint64_t fd_suspicions = 0;
   std::uint64_t fd_retractions = 0;
+
+  /// Final replica state, captured when the scenario keeps consistency
+  /// checking on: per-node delivery logs and stores, plus which nodes were
+  /// still crashed when the run ended. Consumed by the consistency oracle in
+  /// the test harness; never serialized by the emitters.
+  std::vector<rsm::DeliveryLog> delivery_logs;
+  std::vector<rsm::KvStore> stores;
+  std::vector<bool> crashed_at_end;
 
   double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
 

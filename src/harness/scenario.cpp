@@ -157,6 +157,10 @@ ScenarioBuilder& ScenarioBuilder::ramp(Time at, double from_tps,
   s_.phases.push_back(wl::PhaseSpec::ramp(at, from_tps, to_tps));
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::quiesce(Time at) {
+  s_.phases.push_back(wl::PhaseSpec::quiesce(at));
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::crash(NodeId node, Time at) {
   s_.faults.push_back(FaultEvent::Crash(node, at));
   return *this;
@@ -287,11 +291,13 @@ void validate_scenario(const Scenario& s) {
          "node sweeps still-pending accept entries before its peers' "
          "fd-retraction re-ACCEPTs arrive");
   }
-  // Mencius and Multi-Paxos count quorum acks in a 64-bit node bitmask.
+  // Mencius, Multi-Paxos and Clock-RSM count quorum acks (and track
+  // suspected/revoked peers) in 64-bit node bitmasks.
   if ((s.protocol == ProtocolKind::kMencius ||
-       s.protocol == ProtocolKind::kMultiPaxos) &&
+       s.protocol == ProtocolKind::kMultiPaxos ||
+       s.protocol == ProtocolKind::kClockRsm) &&
       n > 64) {
-    fail(s, "Mencius/MultiPaxos support at most 64 sites (ack bitmask)");
+    fail(s, "Mencius/MultiPaxos/ClockRSM support at most 64 sites (bitmask)");
   }
   if (s.protocol == ProtocolKind::kCaesar &&
       s.caesar.fast_quorum_override > n) {
@@ -329,7 +335,9 @@ void validate_scenario(const Scenario& s) {
       fail(s, "phase start time outside [0, duration)");
     }
     phase_starts.push_back(p.at);
-    if (p.mode == wl::PhaseSpec::Mode::kClosedLoop) {
+    if (p.mode == wl::PhaseSpec::Mode::kQuiesce) {
+      // No parameters to validate; a quiesce phase just stops submissions.
+    } else if (p.mode == wl::PhaseSpec::Mode::kClosedLoop) {
       if (p.clients_per_site == 0) {
         fail(s, "closed-loop phase with zero clients per site");
       }
@@ -419,6 +427,10 @@ stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node
     total.slow_proposals += s.slow_proposals;
     total.recoveries += s.recoveries;
     total.waits += s.waits;
+    total.catchup_requests += s.catchup_requests;
+    total.catchup_chunks += s.catchup_chunks;
+    total.catchup_commands += s.catchup_commands;
+    total.revocations += s.revocations;
     total.wait_time.merge(s.wait_time);
     total.propose_phase.merge(s.propose_phase);
     total.retry_phase.merge(s.retry_phase);
@@ -633,6 +645,16 @@ RunReport run_scenario(const Scenario& s) {
         }
       }
     }
+    // Hand the final replica state to the caller: the test-side consistency
+    // oracle needs the logs and stores themselves, plus which nodes were
+    // still down when the run ended (a crashed-forever node legitimately
+    // trails the cluster).
+    result.delivery_logs = std::move(logs);
+    result.stores = std::move(kvs);
+    result.crashed_at_end.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      result.crashed_at_end[i] = cluster.node(i).crashed();
+    }
   }
 
   result.messages = cluster.network().messages_delivered();
@@ -757,6 +779,58 @@ void register_builtins() {
             .duration(14 * kSec)
             .warmup(1 * kSec)
             .seed(9)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "crash-long",
+      "Rejoin state transfer: Frankfurt is down from t=3s to t=6s — far "
+      "longer than any in-flight window — then rejoins and catches up on "
+      "the committed suffix it missed from a live peer; a quiesce tail "
+      "lets the consistency oracle prove its log and store converged "
+      "(default protocol Mencius, where a missed slot was previously "
+      "silently skipped)",
+      [] {
+        wl::WorkloadConfig w;
+        w.clients_per_site = 6;
+        w.conflict_fraction = 0.10;
+        w.reconnect_delay_us = 1 * kSec;
+        return ScenarioBuilder("crash-long")
+            .protocol(ProtocolKind::kMencius)
+            .workload(w)
+            .closed_loop(0, 6)
+            .quiesce(10 * kSec)
+            .crash(2, 3 * kSec)
+            .recover(2, 6 * kSec)
+            .fd_timeout(500 * kMs)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(23)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "dead-node",
+      "Dead-node revocation: Mumbai crashes at t=3s and never returns; the "
+      "cluster keeps delivering past its slots (Mencius revokes them by "
+      "quorum agreement, Clock-RSM excludes its frozen clock) instead of "
+      "wedging behind an owner that will never answer; quiesce tail for "
+      "the consistency oracle",
+      [] {
+        wl::WorkloadConfig w;
+        w.clients_per_site = 6;
+        w.conflict_fraction = 0.10;
+        w.reconnect_delay_us = 1 * kSec;
+        return ScenarioBuilder("dead-node")
+            .protocol(ProtocolKind::kMencius)
+            .workload(w)
+            .closed_loop(0, 6)
+            .quiesce(10 * kSec)
+            .crash(4, 3 * kSec)
+            .fd_timeout(500 * kMs)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(29)
             .build();
       }});
 

@@ -152,6 +152,10 @@ class ScenarioBuilder {
   /// `from_tps` to `to_tps` between `at` and the next phase start (or the
   /// end of the run).
   ScenarioBuilder& ramp(Time at, double from_tps, double to_tps);
+  /// Appends a quiesce phase: submissions stop at `at`, in-flight commands
+  /// drain and the replicas converge — the tail fault scenarios need before
+  /// the consistency oracle compares stores.
+  ScenarioBuilder& quiesce(Time at);
 
   // Fault schedule.
   ScenarioBuilder& crash(NodeId node, Time at);

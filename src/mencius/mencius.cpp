@@ -14,23 +14,51 @@ Mencius::Mencius(rt::Env& env, DeliverFn deliver, MenciusConfig cfg,
       n_(env.cluster_size()),
       cq_(classic_quorum_size(env.cluster_size())),
       next_own_slot_(env.id()),
-      floor_(env.cluster_size(), 0) {
+      floor_(env.cluster_size(), 0),
+      floor_fence_(env.cluster_size(), 0),
+      revoked_(env.cluster_size(), false),
+      revoke_from_(env.cluster_size(), 0) {
   for (NodeId q = 0; q < n_; ++q) floor_[q] = q;  // initial own slot of q
 }
 
 void Mencius::start() {
   env_.set_timer(cfg_.heartbeat_us, [this] { heartbeat(); });
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
 }
 
 void Mencius::on_recover() {
-  // Restart the heartbeat chain (in-memory timers died with the crash).
+  // Restart the heartbeat and watchdog chains (in-memory timers died with
+  // the crash).
   start();
-  // Known limitation (no state transfer): slots committed by peers during
-  // the outage were missed, and the floor rule in try_deliver will treat
-  // them as skipped — this node's delivery log omits them (order stays
-  // consistent, but its store lags until those keys are written again).
-  // Catching up for real needs a log/state-transfer protocol (ROADMAP).
-  //
+  // Drop every conclusion our failure detector reached before the crash:
+  // the peers we suspected (or revoked) may have rejoined and been
+  // retracted cluster-wide while we were down — those upcalls never reached
+  // us, and acting on the stale verdicts would skip slots the live cluster
+  // delivered. The detector re-reports genuinely dead peers within one
+  // timeout (Cluster::recover), and standing revocation decisions come back
+  // with our first catch-up reply.
+  suspected_mask_ = 0;
+  rounds_.clear();
+  for (NodeId q = 0; q < n_; ++q) {
+    revoked_[q] = false;
+    revoke_from_[q] = 0;
+  }
+  // State transfer: slots committed by peers during the outage never reached
+  // this node (their COMMITs were dropped with its queue), so fetch the
+  // missed committed suffix from a live peer and replay it through normal
+  // delivery. Until the final reply chunk arrives the watchdog keeps
+  // retrying against rotating peers, so a crashed responder cannot strand
+  // the rejoin.
+  catchup_needed_ = true;
+  request_catchup();
+  // Arm the floor-rule fences: every peer's floor knowledge predating this
+  // instant may refer to ACCEPTs that died in the outage, so floor skips
+  // are suspended per owner until its first post-rejoin floor arrives and
+  // then allowed only above it (see floor_fence_).
+  for (NodeId q = 0; q < n_; ++q) {
+    if (q == env_.id()) continue;
+    fence_pending_mask_ |= 1ull << q;
+  }
   // Stale acceptor state: a slot we accepted before crashing blocks
   // try_deliver ahead of the floor rule, waiting for a COMMIT that may have
   // been broadcast during our outage and lost. Owners re-confirm genuinely
@@ -38,12 +66,13 @@ void Mencius::on_recover() {
   // after a grace period covering both, sweep whatever was not re-confirmed
   // so one evicted COMMIT cannot wedge delivery forever. Clearing
   // immediately instead would let owner floors skip live pending slots in
-  // the window before their re-ACCEPTs arrive.
+  // the window before their re-ACCEPTs arrive. (Catch-up usually resolves
+  // the same entries much earlier; the sweep is the backstop.)
   const Time rejoined_at = env_.now();
   env_.set_timer(cfg_.resync_grace_us, [this, rejoined_at] {
     bool swept = false;
     for (auto it = accepted_slots_.begin(); it != accepted_slots_.end();) {
-      if (it->second < rejoined_at) {
+      if (it->second.seen < rejoined_at) {
         it = accepted_slots_.erase(it);
         swept = true;
       } else {
@@ -52,49 +81,108 @@ void Mencius::on_recover() {
     }
     if (swept) try_deliver();
   });
-  // Re-propose every slot that was in flight when we crashed: the ACCEPTED
-  // replies sent during the outage were lost, and peers block delivery on an
-  // accepted-but-uncommitted slot forever. Slots are single-proposer, so
-  // re-broadcasting the same value is safe; acks are recounted from scratch.
+  // Re-propose every slot that was in flight when we crashed (the ACCEPTED
+  // replies sent during the outage were lost, and peers block delivery on
+  // an accepted-but-uncommitted slot forever; slots are single-proposer, so
+  // re-broadcasting the same value is safe and acks are recounted from
+  // scratch) and re-announce recent commits (a COMMIT broadcast just before
+  // the crash was dropped at every peer). Peers that already resolved a
+  // slot — revocation during the outage — answer kSlotRevoked or re-send
+  // its COMMIT instead of acking.
   for (auto& [slot, p] : pending_) p.ack_mask = 1ull << env_.id();
-  rebroadcast_pending();
-  // Likewise re-announce recent commits: a COMMIT broadcast just before the
-  // crash was dropped at every peer (the network drops in-flight traffic of
-  // a crashed sender), leaving them wedged on the accepted slot.
-  replay_recent_commits(kAllPeers);
+  send_floor_sync(kAllPeers, resend_history(kAllPeers));
 }
 
-void Mencius::replay_recent_commits(NodeId peer) {
+void Mencius::send_floor_sync(NodeId peer, std::uint64_t covered_from) {
+  // Sent immediately after a resend_history barrage on the same links: FIFO
+  // guarantees the receiver has by now seen every used slot of ours in
+  // [covered_from, floor), so it may lower its fence to covered_from and
+  // resume plain floor skipping there (kFloorSync handler). A bare kFloor
+  // cannot carry that meaning — the receiver could not tell it from a
+  // heartbeat racing the barrage. covered_from is nonzero only when the
+  // recent-commit ring has evicted entries (a >8192-commit history hole
+  // that only catch-up can fill).
+  net::Encoder e = env_.encoder();
+  e.put_varint(next_own_slot_);
+  e.put_varint(covered_from);
+  if (peer == kAllPeers) {
+    env_.broadcast(kFloorSync, std::move(e), /*include_self=*/false);
+  } else {
+    env_.send(peer, kFloorSync, std::move(e));
+  }
+}
+
+std::uint64_t Mencius::resend_history(NodeId peer) {
+  // Recovery barrage: re-offer still-pending slots (their ACCEPTED replies
+  // died with a crash on one side or the other) and re-announce the recent
+  // commit window (COMMITs in flight at a crash were dropped at every
+  // receiver). Two soundness rules, both consequences of the receiver's
+  // link from us having a *hole* where the dropped traffic used to be:
+  //   * ascending slot order — pending_ iterates hashed and the ring can
+  //     commit out of slot order, but per-link FIFO only re-establishes the
+  //     floor invariant if no message overtakes a lower slot's resend;
+  //   * original-send floors (slot + n), not the current counter — a
+  //     current floor would let the receiver floor-skip a slot whose resend
+  //     is still a few messages behind in this very barrage.
+  std::map<std::uint64_t, std::pair<const rsm::Command*, bool>> msgs;
   for (const auto& [slot, cmd] : recent_commits_) {
+    msgs[slot] = {&cmd, /*commit=*/true};
+  }
+  for (const auto& [slot, p] : pending_) {
+    msgs[slot] = {&p.cmd, /*commit=*/false};
+  }
+  for (const auto& [slot, m] : msgs) {
     net::Encoder e = env_.encoder();
     e.put_varint(slot);
-    cmd.encode(e);
-    e.put_varint(next_own_slot_);
+    m.first->encode(e);
+    e.put_varint(slot + n_);
+    const std::uint16_t type = m.second ? kCommit : kAccept;
     if (peer == kAllPeers) {
-      env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+      env_.broadcast(type, std::move(e), /*include_self=*/false);
     } else {
-      env_.send(peer, kCommit, std::move(e));
+      env_.send(peer, type, std::move(e));
     }
   }
+  // Sound coverage bound for the follow-up floor-sync: with an unevicted
+  // ring the barrage reaches back to our first commit ever; once eviction
+  // has happened, only slots from the oldest surviving entry on are proven.
+  if (recent_commits_.size() < kRecentCommits) return 0;
+  return msgs.empty() ? 0 : msgs.begin()->first;
 }
 
-void Mencius::rebroadcast_pending() {
-  for (auto& [slot, p] : pending_) {
-    net::Encoder e = env_.encoder();
-    e.put_varint(slot);
-    p.cmd.encode(e);
-    e.put_varint(next_own_slot_);
-    env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
-  }
+void Mencius::on_node_suspected(NodeId peer) {
+  suspected_mask_ |= 1ull << peer;
+  // Revocation makes the cluster deliver *around* a node that never
+  // returns; driven by one designated node so concurrent revokers cannot
+  // reach different commit-vs-skip decisions for the same slot.
+  maybe_start_revocations();
 }
 
 void Mencius::on_node_recovered(NodeId peer) {
+  suspected_mask_ &= ~(1ull << peer);
+  // The suspicion window was a hole in our link from this peer: we dropped
+  // its re-announces and ignored its floors while an eventual revocation
+  // round was in flight. Its floors therefore become trustworthy again only
+  // from its next message onward — re-arm the fence exactly like a rejoin,
+  // so old unresolved slots of this peer wait for a commit, the decision,
+  // or catch-up instead of being floor-skipped.
+  fence_pending_mask_ |= 1ull << peer;
+  // The peer is provably back with its state intact: its own floors and
+  // re-proposals resolve its slots again, so the revocation verdict (and any
+  // round still collecting) is void.
+  revoked_[peer] = false;
+  rounds_.erase(peer);
   // A rejoined peer missed our ACCEPTs (including any recovery re-announce
   // from before it was back): offer the still-uncommitted slots again, and
   // replay the recent commit window so slots it accepted just before its
   // crash resolve instead of omitting.
-  rebroadcast_pending();
-  replay_recent_commits(peer);
+  send_floor_sync(peer, resend_history(peer));
+  // Symmetrically, WE ignored everything the peer re-announced while the
+  // suspicion stood (floors and re-ACCEPTs alike), so ask it to repeat its
+  // barrage now that we are listening: that patches our hole and its
+  // closing kFloorSync lifts the fence we just re-armed — without it, the
+  // peer's abandoned slots could only be resolved one catch-up at a time.
+  env_.send(peer, kResyncRequest, env_.encoder());
 }
 
 void Mencius::heartbeat() {
@@ -132,15 +220,62 @@ void Mencius::skip_own_slots_below(std::uint64_t slot) {
 }
 
 void Mencius::note_floor(NodeId node, std::uint64_t floor) {
+  // Floors from a sender this node still suspects are rejoin re-announces
+  // racing an in-flight revocation round: acting on them could floor-skip
+  // slots the round is about to commit. Ignore until the FD retraction —
+  // the suspicion clears within one detector delay of a real recovery.
+  if ((suspected_mask_ >> node) & 1) return;
+  if ((fence_pending_mask_ >> node) & 1) {
+    // First word from this owner since we rejoined: everything it proposes
+    // from here on reaches us live, so its floor rule is sound again at and
+    // above this value.
+    floor_fence_[node] = floor;
+    fence_pending_mask_ &= ~(1ull << node);
+  }
   if (floor > floor_[node]) floor_[node] = floor;
 }
 
 void Mencius::handle_accept(NodeId from, net::Decoder& d) {
   const std::uint64_t slot = d.get_varint();
   rsm::Command cmd = rsm::Command::decode(d);
-  (void)cmd;  // value re-arrives with COMMIT; acceptor log elided (no recovery)
-  accepted_slots_[slot] = env_.now();  // refresh: re-ACCEPTs re-confirm
   note_floor(from, d.get_varint());
+
+  // An ACCEPT from a sender this node still suspects is a rejoin re-announce
+  // racing an in-flight revocation round: acking now could commit a slot the
+  // decision (computed from pre-rejoin reports) is about to skip, splitting
+  // the cluster. Hold off — the decision resolves the slot, or the FD
+  // retraction clears the suspicion and the proposer's periodic re-drive
+  // (see catchup_tick) offers it again.
+  if ((suspected_mask_ >> from) & 1) return;
+
+  // A slot this node has already resolved — delivered, proven skipped by
+  // catch-up, or covered by a revocation verdict against the sender — must
+  // not be re-acked: acks could let a stale rejoining proposer commit a slot
+  // part of the cluster has moved past. Re-send the commit when the slot
+  // resolved with a value, else bounce the proposer to a fresh slot.
+  const bool resolved =
+      slot < next_deliver_ || slot < skip_below_ ||
+      (revoked_[from] && slot >= revoke_from_[from]);
+  if (resolved) {
+    const rsm::Command* chosen = log_.find(slot);
+    auto cit = committed_.find(slot);
+    if (chosen == nullptr && cit != committed_.end()) chosen = &cit->second;
+    if (chosen != nullptr) {
+      net::Encoder e = env_.encoder();
+      e.put_varint(slot);
+      chosen->encode(e);
+      e.put_varint(next_own_slot_);
+      env_.send(from, kCommit, std::move(e));
+    } else {
+      net::Encoder e = env_.encoder();
+      e.put_varint(slot);
+      e.put_varint(next_deliver_);
+      env_.send(from, kSlotRevoked, std::move(e));
+    }
+    return;
+  }
+
+  accepted_slots_[slot] = Accepted{env_.now(), std::move(cmd)};
   skip_own_slots_below(slot);
 
   net::Encoder e = env_.encoder();
@@ -182,23 +317,48 @@ void Mencius::handle_commit(NodeId from, net::Decoder& d) {
   note_floor(from, d.get_varint());
   skip_own_slots_below(slot);
   accepted_slots_.erase(slot);
+  // A commit for one of our own slots can arrive from a peer (revocation
+  // dissemination, or a re-sent COMMIT answering a stale re-ACCEPT): stop
+  // re-proposing it.
+  pending_.erase(slot);
   // Duplicate COMMITs happen after a proposer recovery re-announce; an
   // already-delivered slot must not re-enter the committed map.
   if (slot >= next_deliver_) committed_.emplace(slot, std::move(cmd));
   try_deliver();
 }
 
+void Mencius::deliver_slot(std::uint64_t slot, rsm::Command cmd) {
+  pending_.erase(slot);
+  accepted_slots_.erase(slot);
+  log_.append(slot, cmd);
+  deliver_(std::move(cmd));
+}
+
 void Mencius::try_deliver() {
   while (true) {
     auto it = committed_.find(next_deliver_);
     if (it != committed_.end()) {
-      deliver_(it->second);
+      deliver_slot(next_deliver_, std::move(it->second));
       committed_.erase(it);
       ++next_deliver_;
       continue;
     }
+    // A catch-up reply proved every slot below skip_below_ was resolved at
+    // the responder; with no commit on file here, this one was skipped. An
+    // own slot still pending locally was resolved *against* us while we
+    // were away — park its command for re-proposal at a fresh slot.
+    if (next_deliver_ < skip_below_) {
+      accepted_slots_.erase(next_deliver_);
+      auto p = pending_.find(next_deliver_);
+      if (p != pending_.end()) {
+        parked_.push_back(std::move(p->second.cmd));
+        pending_.erase(p);
+      }
+      ++next_deliver_;
+      continue;
+    }
     // Not committed here: the slot owner may have skipped it...
-    const NodeId owner = static_cast<NodeId>(next_deliver_ % n_);
+    const NodeId owner = owner_of(next_deliver_);
     if (owner == env_.id()) {
       if (next_deliver_ < next_own_slot_ && pending_.count(next_deliver_) == 0) {
         ++next_deliver_;  // our own skipped slot
@@ -209,12 +369,400 @@ void Mencius::try_deliver() {
     if (accepted_slots_.count(next_deliver_) != 0) {
       break;  // value proposed; wait for its COMMIT
     }
-    if (floor_[owner] > next_deliver_) {
+    // The floor inference is only sound for ACCEPTs we could have seen:
+    // across an outage they were dropped, so a post-rejoin floor may only
+    // skip slots the owner proposed after our link resumed (>= its fence).
+    // Older unresolved slots wait for catch-up (skip_below_) or a commit.
+    const bool fence_open = ((fence_pending_mask_ >> owner) & 1) == 0 &&
+                            next_deliver_ >= floor_fence_[owner];
+    if (floor_[owner] > next_deliver_ && fence_open) {
       ++next_deliver_;  // owner skipped it (FIFO makes this sound, see floor_)
+      continue;
+    }
+    if (revoked_[owner] && next_deliver_ >= revoke_from_[owner]) {
+      // A revocation verdict resolved this slot: any surviving value was
+      // committed by the decision (handled above), the rest are skipped.
+      ++next_deliver_;
       continue;
     }
     break;  // must hear more from `owner` — the "slowest node" bottleneck
   }
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin catch-up
+// ---------------------------------------------------------------------------
+
+void Mencius::request_catchup() {
+  // Rotate over peers this node believes alive, so a crashed or lagging
+  // responder only costs one watchdog period.
+  for (std::size_t step = 0; step < n_; ++step) {
+    catchup_rotor_ = static_cast<NodeId>((catchup_rotor_ + 1) % n_);
+    if (catchup_rotor_ == env_.id()) continue;
+    if ((suspected_mask_ >> catchup_rotor_) & 1) continue;
+    if (stats_ != nullptr) ++stats_->catchup_requests;
+    send_catchup_request(catchup_rotor_, next_deliver_, log_.rolling_hash());
+    return;
+  }
+}
+
+void Mencius::on_catchup_request(NodeId from, net::Decoder& d) {
+  const std::uint64_t frontier = d.get_varint();
+  const std::uint64_t their_hash = d.get_u64();
+  // The prefix hash is only meaningful when this node has resolved at least
+  // as far as the requester: a lagging responder's log is simply shorter,
+  // not divergent. 0 marks "no comparison possible" for the requester.
+  const std::uint64_t prefix_hash =
+      frontier <= next_deliver_ ? log_.hash_below(frontier) : 0;
+  if (frontier <= next_deliver_ && prefix_hash != their_hash) {
+    log::error("mencius: node ", from, " requests catch-up from slot ",
+               frontier, " but our delivered prefixes disagree — replicas "
+               "have diverged");
+  }
+  std::uint64_t pos = frontier;
+  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
+  // chunk's* from — for chunk 2+ the requester's rolling hash has already
+  // absorbed the previous chunks' replay, so stamping the original request
+  // hash would trip the divergence check spuriously. Carried incrementally
+  // (each chunk's own entries fold into the next chunk's hash) so a long
+  // reply stays O(log) instead of O(chunks x log).
+  std::uint64_t running_hash = prefix_hash;
+  while (true) {
+    rsm::LogSnapshot chunk =
+        log_.suffix(pos, next_deliver_, rsm::kCatchupChunkEntries);
+    chunk.prefix_hash = running_hash;
+    if (running_hash != 0) {
+      for (const auto& [idx, c] : chunk.entries) {
+        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
+      }
+    }
+    if (chunk.done) {
+      // Commands committed here but not yet delivered ride along: their
+      // COMMIT broadcasts predate the requester's return and were lost.
+      for (const auto& [slot, cmd] : committed_) {
+        if (slot >= frontier) chunk.entries.emplace_back(slot, cmd);
+      }
+    }
+    net::Encoder e = env_.encoder();
+    chunk.encode(e);
+    env_.send(from, rt::kCatchupReplyType, std::move(e));
+    if (stats_ != nullptr) ++stats_->catchup_chunks;
+    if (chunk.done) break;
+    pos = chunk.through;
+  }
+  // Re-announce standing revocation verdicts so the requester resumes *live*
+  // delivery past dead owners instead of trailing one catch-up per watchdog
+  // tick. Resends are ADVISORY (authoritative=false): they grant the skip
+  // flag but never erase accepted state — only the original quorum-backed
+  // decision may do that, and its commits are covered here by the chunks
+  // (delivered ones) and committed_ extras (undelivered ones) that FIFO
+  // places ahead of this message.
+  for (NodeId dead = 0; dead < n_; ++dead) {
+    if (!revoked_[dead]) continue;
+    net::Encoder e = env_.encoder();
+    e.put_u32(dead);
+    e.put_varint(revoke_from_[dead]);
+    e.put_bool(false);  // advisory
+    e.put_varint(0);    // no commits: everything below rode in the chunks
+    env_.send(from, kRevokeDecision, std::move(e));
+  }
+}
+
+void Mencius::on_catchup_reply(NodeId from, net::Decoder& d) {
+  (void)from;
+  rsm::LogSnapshot chunk = rsm::LogSnapshot::decode(d);
+  if (chunk.from == next_deliver_ && chunk.prefix_hash != 0 &&
+      chunk.prefix_hash != log_.rolling_hash()) {
+    log::error("mencius: catch-up prefix hash mismatch at slot ",
+               next_deliver_, " — replicas have diverged");
+  }
+  for (auto& [slot, cmd] : chunk.entries) {
+    if (slot < next_deliver_) continue;  // already delivered here
+    if (committed_.emplace(slot, std::move(cmd)).second &&
+        stats_ != nullptr) {
+      ++stats_->catchup_commands;
+    }
+  }
+  if (chunk.through > skip_below_) skip_below_ = chunk.through;
+  if (chunk.done) {
+    catchup_needed_ = false;
+    // Our own slot counter is stale by the length of the outage; proposing
+    // below the resolved bound would only bounce off kSlotRevoked replies.
+    skip_own_slots_below(skip_below_);
+  }
+  try_deliver();
+}
+
+void Mencius::catchup_tick() {
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  maybe_start_revocations();
+  // Retry revocation rounds whose responders changed or whose traffic was
+  // lost: recompute who must answer (a responder may have crashed since)
+  // and ask again.
+  for (auto& [dead, round] : rounds_) {
+    if (env_.now() - round.last_query < cfg_.catchup_interval_us) continue;
+    std::uint64_t want = 0;
+    for (NodeId q = 0; q < n_; ++q) {
+      if (q != dead && ((suspected_mask_ >> q) & 1) == 0) want |= 1ull << q;
+    }
+    round.want_mask = want;
+    maybe_decide_revocation(dead);
+    if (rounds_.count(dead) == 0) break;  // decided; iterator invalidated
+    round.last_query = env_.now();
+    net::Encoder e = env_.encoder();
+    e.put_u32(dead);
+    e.put_varint(round.from);
+    env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
+  }
+  drain_parked();
+  // Re-drive pending slots that have gone a full watchdog period without
+  // committing: their ACCEPTs may have been dropped by a crash on either
+  // side, or held at bay by acceptors that still suspected us after a
+  // rejoin. Ascending order with original-send floors, like any resend.
+  std::map<std::uint64_t, const rsm::Command*> stale;
+  for (auto& [slot, p] : pending_) {
+    if (env_.now() - p.start >= cfg_.catchup_interval_us) {
+      stale.emplace(slot, &p.cmd);
+      p.start = env_.now();  // rate-limit per slot
+    }
+  }
+  for (const auto& [slot, cmd] : stale) {
+    net::Encoder e = env_.encoder();
+    e.put_varint(slot);
+    cmd->encode(e);
+    e.put_varint(slot + n_);
+    env_.broadcast(kAccept, std::move(e), /*include_self=*/false);
+  }
+  // Frontier stall: the cluster may have resolved slots we cannot see
+  // (missed COMMITs, a revocation decision we were down for). Evidence of
+  // being behind — commits or accepts queued above the frontier — gates the
+  // request so an idle cluster stays quiet.
+  const bool stalled = next_deliver_ == last_deliver_mark_;
+  last_deliver_mark_ = next_deliver_;
+  if (catchup_needed_ ||
+      (stalled && (!committed_.empty() || !accepted_slots_.empty()))) {
+    catchup_needed_ = true;
+    request_catchup();
+  }
+}
+
+void Mencius::drain_parked() {
+  if (parked_.empty()) return;
+  // Re-propose above every floor we know of: a counter that trails the
+  // cluster frontier would just bounce off kSlotRevoked again next round,
+  // leapfrogging one slot per watchdog period. Own unused slots below the
+  // floors are dead anyway.
+  for (NodeId q = 0; q < n_; ++q) skip_own_slots_below(floor_[q]);
+  std::vector<rsm::Command> batch = std::move(parked_);
+  parked_.clear();
+  for (auto& cmd : batch) propose(std::move(cmd));
+}
+
+// ---------------------------------------------------------------------------
+// Dead-node slot revocation
+// ---------------------------------------------------------------------------
+
+NodeId Mencius::designated_revoker() const {
+  for (NodeId q = 0; q < n_; ++q) {
+    if (((suspected_mask_ >> q) & 1) == 0) return q;
+  }
+  return env_.id();
+}
+
+void Mencius::maybe_start_revocations() {
+  if (designated_revoker() != env_.id()) return;
+  // A revoker that is itself catching up would anchor the round at a stale
+  // frontier and drag the whole delivered history into the reports; let the
+  // watchdog start the round once state transfer finishes.
+  if (catchup_needed_) return;
+  for (NodeId dead = 0; dead < n_; ++dead) {
+    if (((suspected_mask_ >> dead) & 1) == 0) continue;
+    if (revoked_[dead] || rounds_.count(dead) != 0) continue;
+    start_revocation(dead);
+  }
+}
+
+void Mencius::collect_revoke_info(
+    NodeId dead, std::uint64_t from,
+    std::map<std::uint64_t, rsm::Command>& out) const {
+  // Everything this node knows was *chosen or might be chosen* for the dead
+  // node's slots >= from: delivered, committed-undelivered, and accepted
+  // values. Accepted values are safe to treat as chosen because each slot
+  // has a single proposer and therefore a single possible value — deciding
+  // it merely finishes what the dead node started.
+  for (const auto& [slot, cmd] : log_.entries()) {
+    if (slot >= from && owner_of(slot) == dead) out.emplace(slot, cmd);
+  }
+  for (const auto& [slot, cmd] : committed_) {
+    if (slot >= from && owner_of(slot) == dead) out.emplace(slot, cmd);
+  }
+  for (const auto& [slot, acc] : accepted_slots_) {
+    if (slot >= from && owner_of(slot) == dead) out.emplace(slot, acc.cmd);
+  }
+}
+
+void Mencius::start_revocation(NodeId dead) {
+  RevokeRound round;
+  round.from = next_deliver_;
+  round.last_query = env_.now();
+  for (NodeId q = 0; q < n_; ++q) {
+    if (q != dead && ((suspected_mask_ >> q) & 1) == 0) {
+      round.want_mask |= 1ull << q;
+    }
+  }
+  round.got_mask = 1ull << env_.id();
+  collect_revoke_info(dead, round.from, round.commits);
+  net::Encoder e = env_.encoder();
+  e.put_u32(dead);
+  e.put_varint(round.from);
+  env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
+  rounds_.emplace(dead, std::move(round));
+  maybe_decide_revocation(dead);
+}
+
+void Mencius::handle_revoke_query(NodeId from, net::Decoder& d) {
+  const NodeId dead = d.get_u32();
+  const std::uint64_t qfrom = d.get_varint();
+  std::map<std::uint64_t, rsm::Command> known;
+  collect_revoke_info(dead, qfrom, known);
+  net::Encoder e = env_.encoder();
+  e.put_u32(dead);
+  e.put_varint(qfrom);
+  e.put_varint(known.size());
+  for (const auto& [slot, cmd] : known) {
+    e.put_varint(slot);
+    cmd.encode(e);
+  }
+  env_.send(from, kRevokeInfo, std::move(e));
+}
+
+void Mencius::handle_revoke_info(NodeId from, net::Decoder& d) {
+  const NodeId dead = d.get_u32();
+  const std::uint64_t qfrom = d.get_varint();
+  const std::uint64_t count = d.get_varint();
+  auto it = rounds_.find(dead);
+  // Decode fully even when the round is gone: the decoder owns the buffer.
+  std::map<std::uint64_t, rsm::Command> reported;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t slot = d.get_varint();
+    reported.emplace(slot, rsm::Command::decode(d));
+  }
+  if (it == rounds_.end() || it->second.from != qfrom) return;
+  RevokeRound& round = it->second;
+  round.got_mask |= 1ull << from;
+  for (auto& [slot, cmd] : reported) round.commits.emplace(slot, std::move(cmd));
+  maybe_decide_revocation(dead);
+}
+
+void Mencius::maybe_decide_revocation(NodeId dead) {
+  auto it = rounds_.find(dead);
+  if (it == rounds_.end()) return;
+  RevokeRound& round = it->second;
+  // Every peer believed alive must answer — a node that already applied an
+  // earlier (possibly partial) decision carries the precedent — and at
+  // least a classic quorum overall, so a minority partition cannot revoke.
+  if ((round.got_mask & round.want_mask) != round.want_mask) return;
+  if (static_cast<std::size_t>(std::popcount(round.got_mask)) < cq_) return;
+
+  net::Encoder e = env_.encoder();
+  e.put_u32(dead);
+  e.put_varint(round.from);
+  e.put_bool(true);  // authoritative: quorum-backed, may clear accepted state
+  e.put_varint(round.commits.size());
+  for (const auto& [slot, cmd] : round.commits) {
+    e.put_varint(slot);
+    cmd.encode(e);
+  }
+  env_.broadcast(kRevokeDecision, std::move(e), /*include_self=*/false);
+  if (stats_ != nullptr) ++stats_->revocations;
+  const std::uint64_t from = round.from;
+  std::map<std::uint64_t, rsm::Command> commits = std::move(round.commits);
+  rounds_.erase(it);
+  apply_revoke_decision(dead, from, std::move(commits), /*authoritative=*/true);
+}
+
+void Mencius::handle_revoke_decision(net::Decoder& d) {
+  const NodeId dead = d.get_u32();
+  const std::uint64_t from = d.get_varint();
+  const bool authoritative = d.get_bool();
+  const std::uint64_t count = d.get_varint();
+  std::map<std::uint64_t, rsm::Command> commits;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t slot = d.get_varint();
+    commits.emplace(slot, rsm::Command::decode(d));
+  }
+  apply_revoke_decision(dead, from, std::move(commits), authoritative);
+}
+
+void Mencius::apply_revoke_decision(
+    NodeId dead, std::uint64_t from,
+    std::map<std::uint64_t, rsm::Command> commits, bool authoritative) {
+  for (auto& [slot, cmd] : commits) {
+    pending_.erase(slot);
+    if (slot >= next_deliver_) committed_.emplace(slot, std::move(cmd));
+  }
+  // Accepted values the decision did not commit were seen by no quorum
+  // member and can never be chosen now (>= cq nodes apply this decision and
+  // refuse stale re-ACCEPTs, so the dead proposer cannot assemble a quorum
+  // behind the cluster's back): drop them so they stop blocking delivery.
+  // Only the original quorum-backed decision has that authority — an
+  // advisory resend reflects one peer's standing flag, and erasing on its
+  // word could drop a value the (possibly incomplete) original left to the
+  // normal commit/catch-up path.
+  if (authoritative) {
+    for (auto ait = accepted_slots_.begin(); ait != accepted_slots_.end();) {
+      if (ait->first >= from && owner_of(ait->first) == dead &&
+          committed_.count(ait->first) == 0 && ait->first >= next_deliver_) {
+        ait = accepted_slots_.erase(ait);
+      } else {
+        ++ait;
+      }
+    }
+  }
+  // Only honor the skip verdict while this node's own detector agrees the
+  // target is gone. If the retraction raced the decision here, the target
+  // is alive: its floors resolve its slots without any verdict, and a
+  // verdict flag would wrongly bounce its proposals forever.
+  if ((suspected_mask_ >> dead) & 1) {
+    if (!revoked_[dead] || from < revoke_from_[dead]) revoke_from_[dead] = from;
+    revoked_[dead] = true;
+  }
+  try_deliver();
+}
+
+void Mencius::handle_resync_request(NodeId from) {
+  send_floor_sync(from, resend_history(from));
+}
+
+void Mencius::handle_floor_sync(NodeId from, net::Decoder& d) {
+  const std::uint64_t floor = d.get_varint();
+  const std::uint64_t covered_from = d.get_varint();
+  if ((suspected_mask_ >> from) & 1) return;  // racing a revocation round
+  // The sender just finished re-offering every used slot of its history in
+  // [covered_from, floor) on this link (FIFO), so the hole in our view of
+  // it is patched from covered_from on: lower the fence to that bound.
+  // (covered_from is 0 unless its ring evicted; older slots stay fenced
+  // and resolve through catch-up.)
+  fence_pending_mask_ &= ~(1ull << from);
+  floor_fence_[from] = covered_from;
+  note_floor(from, floor);
+  try_deliver();
+}
+
+void Mencius::handle_slot_revoked(net::Decoder& d) {
+  const std::uint64_t slot = d.get_varint();
+  const std::uint64_t frontier = d.get_varint();
+  // One of our slots was resolved as skipped while we were away. Give up the
+  // stale slot range and park the command; the watchdog re-proposes it at a
+  // fresh slot once peers accept us again (immediately after the FD
+  // retraction, so parking throttles the bounce loop in the meantime).
+  skip_own_slots_below(frontier);
+  auto it = pending_.find(slot);
+  if (it != pending_.end()) {
+    parked_.push_back(std::move(it->second.cmd));
+    pending_.erase(it);
+  }
+  try_deliver();  // the abandoned slot may have been the local block
 }
 
 void Mencius::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
@@ -234,12 +782,37 @@ void Mencius::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
       // A peer floor far ahead of our own counter means we missed the slot
       // frontier moving (we just rejoined after an outage, our counter
       // frozen meanwhile): give up the stale unused slots so delivery is
-      // not blocked on us cluster-wide. The slack keeps mutual heartbeats
-      // from ratcheting idle nodes' counters upward indefinitely.
-      if (floor > next_own_slot_ + 2 * n_) skip_own_slots_below(floor);
+      // not blocked on us cluster-wide, and fetch the history we missed.
+      // The slack keeps mutual heartbeats from ratcheting idle nodes'
+      // counters upward indefinitely.
+      if (floor > next_own_slot_ + 2 * n_) {
+        skip_own_slots_below(floor);
+        if (!catchup_needed_) {
+          catchup_needed_ = true;
+          request_catchup();
+        }
+      }
       try_deliver();
       break;
     }
+    case kRevokeQuery:
+      handle_revoke_query(from, d);
+      break;
+    case kRevokeInfo:
+      handle_revoke_info(from, d);
+      break;
+    case kRevokeDecision:
+      handle_revoke_decision(d);
+      break;
+    case kSlotRevoked:
+      handle_slot_revoked(d);
+      break;
+    case kResyncRequest:
+      handle_resync_request(from);
+      break;
+    case kFloorSync:
+      handle_floor_sync(from, d);
+      break;
     default:
       log::warn("mencius: unknown message type ", type);
   }

@@ -13,8 +13,19 @@
 // message and on idle heartbeats; COMMIT carries the coordinator's full floor
 // vector so learners converge fast.
 //
-// Recovery/revocation (Fast Mencius) is out of scope — the paper's failure
-// experiment covers only CAESAR and EPaxos.
+// Beyond the paper's fault-free evaluation, this implementation closes the
+// two crash-era gaps (extension; in the spirit of Fast Mencius):
+//   * rejoin state transfer — a node returning from an outage fetches the
+//     committed slot suffix it missed from a live peer (chunked
+//     rsm::LogSnapshot frames over the runtime's catch-up framing) and
+//     replays it through normal delivery, so its log and store converge
+//     with the cluster instead of silently treating missed slots as skipped;
+//   * dead-node slot revocation — once the failure detector flags a node,
+//     a designated revoker gathers every live peer's knowledge of the dead
+//     node's in-flight slots, commits any value some peer holds (safe:
+//     slots are single-proposer, so only one value was ever proposable) and
+//     resolves the rest as skipped, so delivery no longer wedges behind an
+//     owner that never returns.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +33,9 @@
 #include <map>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
 
@@ -35,6 +48,10 @@ struct MenciusConfig {
   /// replays before sweeping unconfirmed pre-crash accept entries (must
   /// exceed the cluster's failure-detector retraction delay).
   Time resync_grace_us = 2 * kSec;
+  /// Progress-watchdog period: checks for a stalled delivery frontier
+  /// (triggering catch-up from a live peer), retries stale revocation
+  /// rounds and re-proposes commands bounced off revoked slots.
+  Time catchup_interval_us = 250 * kMs;
 };
 
 class Mencius final : public rt::Protocol {
@@ -44,35 +61,89 @@ class Mencius final : public rt::Protocol {
 
   void start() override;
   void on_recover() override;
+  void on_node_suspected(NodeId peer) override;
   void on_node_recovered(NodeId peer) override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
+  void on_catchup_request(NodeId from, net::Decoder& d) override;
+  void on_catchup_reply(NodeId from, net::Decoder& d) override;
   std::string_view name() const override { return "Mencius"; }
 
   // --- introspection -------------------------------------------------------
   std::uint64_t next_own_slot() const { return next_own_slot_; }
   std::uint64_t delivered_through() const { return next_deliver_; }
   std::uint64_t floor_of(NodeId node) const { return floor_[node]; }
+  bool is_revoked(NodeId node) const { return revoked_[node]; }
+  const rsm::CommandLog& delivered_log() const { return log_; }
 
  private:
   enum MsgType : std::uint16_t {
-    kAccept = 1,    // coordinator -> all: value for its own slot (+floor)
-    kAccepted = 2,  // acceptor -> coordinator: ack (+floor)
-    kCommit = 3,    // coordinator -> all: slot chosen (+all known floors)
-    kFloor = 4,     // heartbeat: floor announcement
+    kAccept = 1,     // coordinator -> all: value for its own slot (+floor)
+    kAccepted = 2,   // acceptor -> coordinator: ack (+floor)
+    kCommit = 3,     // coordinator -> all: slot chosen (+floor)
+    kFloor = 4,      // heartbeat: floor announcement
+    kRevokeQuery = 5,     // revoker -> all: report a dead node's slots
+    kRevokeInfo = 6,      // peer -> revoker: known values for those slots
+    kRevokeDecision = 7,  // revoker -> all: commit these, skip the rest
+    kSlotRevoked = 8,     // acceptor -> stale proposer: slot already resolved
+    kResyncRequest = 9,   // retracted receiver -> rejoined peer: barrage again
+    kFloorSync = 10,      // after a barrage: floor fully covered, lift fence
+  };
+
+  /// One open revocation round this node is driving as the designated
+  /// revoker. Responses are required from every peer the revoker believes
+  /// alive, and at least a classic quorum overall, before deciding.
+  struct RevokeRound {
+    std::uint64_t from = 0;       // resolve the dead node's slots >= this
+    std::uint64_t want_mask = 0;  // responders required (self included)
+    std::uint64_t got_mask = 0;
+    std::map<std::uint64_t, rsm::Command> commits;
+    Time last_query = 0;
   };
 
   void handle_accept(NodeId from, net::Decoder& d);
   void handle_accepted(NodeId from, net::Decoder& d);
   void handle_commit(NodeId from, net::Decoder& d);
+  void handle_revoke_query(NodeId from, net::Decoder& d);
+  void handle_revoke_info(NodeId from, net::Decoder& d);
+  void handle_revoke_decision(net::Decoder& d);
+  void handle_slot_revoked(net::Decoder& d);
+  void handle_resync_request(NodeId from);
+  void handle_floor_sync(NodeId from, net::Decoder& d);
+  /// Announces that the preceding resend_history covered every used slot
+  /// in [covered_from, floor) (FIFO), letting receivers lower their fences
+  /// to covered_from.
+  void send_floor_sync(NodeId peer, std::uint64_t covered_from);
   void skip_own_slots_below(std::uint64_t slot);
-  void rebroadcast_pending();
-  /// Re-sends the recent commit window, to one peer or to everyone.
-  void replay_recent_commits(NodeId peer);
+  /// Recovery barrage: re-offers still-pending slots and re-announces the
+  /// recent commit window, in ascending slot order with original-send
+  /// floors (see the definition for why both matter). Returns the lowest
+  /// slot soundly covered: 0 when the ring has never evicted (full history
+  /// re-sent), else the oldest re-sent slot — the floor-sync fence must not
+  /// lift below it.
+  std::uint64_t resend_history(NodeId peer);
   static constexpr NodeId kAllPeers = kNoNode;
   void note_floor(NodeId node, std::uint64_t floor);
+  void deliver_slot(std::uint64_t slot, rsm::Command cmd);
   void try_deliver();
   void heartbeat();
+  void catchup_tick();
+  void request_catchup();
+  /// Collects this node's knowledge of `dead`-owned slots >= `from`
+  /// (committed, delivered or accepted values) into `out`.
+  void collect_revoke_info(NodeId dead, std::uint64_t from,
+                           std::map<std::uint64_t, rsm::Command>& out) const;
+  NodeId designated_revoker() const;
+  void maybe_start_revocations();
+  void start_revocation(NodeId dead);
+  void maybe_decide_revocation(NodeId dead);
+  void apply_revoke_decision(NodeId dead, std::uint64_t from,
+                             std::map<std::uint64_t, rsm::Command> commits,
+                             bool authoritative);
+  void drain_parked();
+  NodeId owner_of(std::uint64_t slot) const {
+    return static_cast<NodeId>(slot % n_);
+  }
 
   MenciusConfig cfg_;
   stats::ProtocolStats* stats_;
@@ -85,12 +156,30 @@ class Mencius final : public rt::Protocol {
   /// ACCEPTED replies, COMMITs and heartbeats). Per-link FIFO then
   /// guarantees that when floor_[q] passes slot s, q's ACCEPT for s — if s
   /// was used rather than skipped — has already been seen, so "not in
-  /// accepted_slots_ and below the floor" is a sound skip test.
+  /// accepted_slots_ and below the floor" is a sound skip test... as long
+  /// as the link history has no hole. Across an outage it does, which is
+  /// what floor_fence_ guards (see below).
   std::vector<std::uint64_t> floor_;
-  /// Slots known proposed (value in flight) but not yet committed, with the
-  /// time the ACCEPT was last seen (recovery sweeps entries that are not
-  /// re-confirmed after a rejoin — see on_recover).
-  std::unordered_map<std::uint64_t, Time> accepted_slots_;
+  /// Rejoin soundness fence for the floor rule: after a crash, ACCEPTs that
+  /// were in flight (or sent) during the outage are gone, so a floor
+  /// learned post-rejoin must not be used to skip slots below the *first*
+  /// floor heard from that owner after rejoining — those slots' ACCEPTs
+  /// may have fallen into the hole, and only catch-up (skip_below_) or a
+  /// commit can resolve them. Slots at/above the first-heard floor are
+  /// proposed after the link resumed, so FIFO soundness holds again.
+  std::vector<std::uint64_t> floor_fence_;
+  /// Owners whose post-rejoin fence is still unassigned (fence = +inf).
+  std::uint64_t fence_pending_mask_ = 0;
+
+  /// Slots known proposed but not yet committed: when the ACCEPT was last
+  /// seen (recovery sweeps entries not re-confirmed after a rejoin) and the
+  /// proposed value, retained so a revocation round can commit a dead
+  /// owner's in-flight value even though its COMMIT never made it out.
+  struct Accepted {
+    Time seen = 0;
+    rsm::Command cmd;
+  };
+  std::unordered_map<std::uint64_t, Accepted> accepted_slots_;
 
   /// Distinct ackers as a bitmask: duplicate ACCEPTED replies (possible
   /// after recovery re-broadcasts) must not double-count toward the quorum.
@@ -102,6 +191,32 @@ class Mencius final : public rt::Protocol {
   std::unordered_map<std::uint64_t, Pending> pending_;  // coordinator side
   std::map<std::uint64_t, rsm::Command> committed_;
   std::uint64_t next_deliver_ = 0;
+
+  /// Delivered commands by slot, retained to serve catch-up requests and
+  /// revocation queries (see rsm/log_snapshot.h).
+  rsm::CommandLog log_;
+  /// Catch-up resolution watermark: a peer's reply proved every slot below
+  /// this is delivered-or-skipped, so slots under it that are not in
+  /// committed_ are skipped without waiting on their owner.
+  std::uint64_t skip_below_ = 0;
+  /// A catch-up request is outstanding (set on rejoin and on detected
+  /// frontier stalls; cleared by the final reply chunk). The watchdog
+  /// retries from rotating peers while set.
+  bool catchup_needed_ = false;
+  NodeId catchup_rotor_ = 0;
+  std::uint64_t last_deliver_mark_ = 0;  // frontier at the last watchdog tick
+
+  /// Failure-detector view: nodes currently suspected by this node.
+  std::uint64_t suspected_mask_ = 0;
+  /// revoked_[q]: a revocation decision resolved q's slots >= revoke_from_[q]
+  /// (commit-or-skip); cleared when q provably returns (FD retraction).
+  std::vector<bool> revoked_;
+  std::vector<std::uint64_t> revoke_from_;
+  std::unordered_map<NodeId, RevokeRound> rounds_;
+  /// Own commands bounced off already-revoked slots, re-proposed at fresh
+  /// slots by the watchdog (throttled so a not-yet-retracted rejoiner does
+  /// not busy-loop against peers still rejecting it).
+  std::vector<rsm::Command> parked_;
 
   /// Recent own commits, kept so a recovering node can re-announce COMMITs
   /// that were still in flight when it crashed (peers wedge on an

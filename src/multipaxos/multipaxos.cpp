@@ -2,11 +2,17 @@
 
 #include <bit>
 
+#include "common/logging.h"
+
 namespace caesar::mpaxos {
 
 MultiPaxos::MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
                        stats::ProtocolStats* stats)
     : rt::Protocol(env, std::move(deliver)), cfg_(cfg), stats_(stats) {}
+
+void MultiPaxos::start() {
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+}
 
 void MultiPaxos::propose(rsm::Command cmd) {
   if (is_leader()) {
@@ -106,29 +112,41 @@ void MultiPaxos::rebroadcast_pending() {
 }
 
 void MultiPaxos::on_recover() {
+  start();  // the watchdog timer died with the crash
+  suspected_mask_ = 0;  // stale FD view; the detector re-reports within one timeout
   if (!is_leader()) {
-    // Buffer COMMITs for a grace period covering the leader's
-    // fd-retraction-delayed replay, then jump the delivery watermark to the
-    // earliest buffered index: the replay shrinks the outage gap as far as
-    // its ring reaches; whatever is older is omitted (no state transfer —
-    // order stays consistent, see ROADMAP).
+    // State transfer: fetch the committed indices this replica missed from a
+    // live peer and replay them in order — the log resumes with *no* gap.
+    // The grace-period watermark jump stays as a backstop for the case
+    // where every catch-up attempt failed (it should never fire now that
+    // the watchdog retries against rotating peers).
     resync_ = true;
+    catchup_needed_ = true;
+    request_catchup();
     env_.set_timer(cfg_.resync_grace_us, [this] {
       if (!resync_) return;
       resync_ = false;
       auto first = committed_.lower_bound(deliver_next_);
       if (first != committed_.end() && first->first > deliver_next_) {
+        log::warn("multipaxos: node ", env_.id(),
+                  " jumping delivery watermark ", deliver_next_, " -> ",
+                  first->first, " (state transfer did not complete in time)");
         deliver_next_ = first->first;
       }
       try_deliver();
     });
     return;
   }
-  // ACCEPTED and COMMIT traffic in flight at the crash was dropped, so
-  // uncommitted log entries would gap the log forever and recently
+  // Leader: ACCEPTED and COMMIT traffic in flight at the crash was dropped,
+  // so uncommitted log entries would gap the log forever and recently
   // committed ones may be unknown to every learner. Re-drive both; entries
   // are single-proposer (one stable leader), so re-broadcasting is safe
-  // and the ack bitmask keeps duplicate replies from double-counting.
+  // and the ack bitmask keeps duplicate replies from double-counting. The
+  // leader's own delivery frontier also lags by the outage: entries the
+  // cluster learned only through the ring were delivered nowhere, but any
+  // delivered state a follower holds comes back through catch-up.
+  catchup_needed_ = true;
+  request_catchup();
   for (auto& [index, p] : pending_) {
     p.ack_mask = 1ull << env_.id();
   }
@@ -149,7 +167,12 @@ void MultiPaxos::replay_recent_commits(NodeId peer) {
   }
 }
 
+void MultiPaxos::on_node_suspected(NodeId peer) {
+  suspected_mask_ |= 1ull << peer;
+}
+
 void MultiPaxos::on_node_recovered(NodeId peer) {
+  suspected_mask_ &= ~(1ull << peer);
   if (!is_leader()) {
     // The recovered leader's queue dropped our forwards sent while it was
     // down: re-forward everything still outstanding (led_ids_ dedups the
@@ -165,16 +188,113 @@ void MultiPaxos::on_node_recovered(NodeId peer) {
   }
   // A rejoined acceptor missed ACCEPTs sent while it was down (including
   // recovery re-broadcasts from before it was back): offer the still
-  // uncommitted entries again so quorums can form, and replay the recent
-  // commit window so its log resumes with the smallest possible gap.
+  // uncommitted entries again so quorums can form. Its delivered log is
+  // restored by the catch-up it requested on rejoin; replaying the recent
+  // commit window here just shortens the window the reply must cover.
   rebroadcast_pending();
   replay_recent_commits(peer);
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin catch-up
+// ---------------------------------------------------------------------------
+
+void MultiPaxos::request_catchup() {
+  for (std::size_t step = 0; step < env_.cluster_size(); ++step) {
+    catchup_rotor_ =
+        static_cast<NodeId>((catchup_rotor_ + 1) % env_.cluster_size());
+    if (catchup_rotor_ == env_.id()) continue;
+    if ((suspected_mask_ >> catchup_rotor_) & 1) continue;
+    if (stats_ != nullptr) ++stats_->catchup_requests;
+    send_catchup_request(catchup_rotor_, deliver_next_, log_.rolling_hash());
+    return;
+  }
+}
+
+void MultiPaxos::on_catchup_request(NodeId from, net::Decoder& d) {
+  const std::uint64_t frontier = d.get_varint();
+  const std::uint64_t their_hash = d.get_u64();
+  // The prefix hash is only meaningful when this node has resolved at least
+  // as far as the requester: a lagging responder's log is simply shorter,
+  // not divergent. 0 marks "no comparison possible" for the requester.
+  const std::uint64_t prefix_hash =
+      frontier <= deliver_next_ ? log_.hash_below(frontier) : 0;
+  if (frontier <= deliver_next_ && prefix_hash != their_hash) {
+    log::error("multipaxos: node ", from, " requests catch-up from index ",
+               frontier, " but our delivered prefixes disagree — replicas "
+               "have diverged");
+  }
+  std::uint64_t pos = frontier;
+  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
+  // chunk's* from — for chunk 2+ the requester's rolling hash has already
+  // absorbed the previous chunks' replay, so stamping the original request
+  // hash would trip the divergence check spuriously. Carried incrementally
+  // (each chunk's own entries fold into the next chunk's hash) so a long
+  // reply stays O(log) instead of O(chunks x log).
+  std::uint64_t running_hash = prefix_hash;
+  while (true) {
+    rsm::LogSnapshot chunk =
+        log_.suffix(pos, deliver_next_, rsm::kCatchupChunkEntries);
+    chunk.prefix_hash = running_hash;
+    if (running_hash != 0) {
+      for (const auto& [idx, c] : chunk.entries) {
+        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
+      }
+    }
+    if (chunk.done) {
+      for (const auto& [index, cmd] : committed_) {
+        if (index >= frontier) chunk.entries.emplace_back(index, cmd);
+      }
+    }
+    net::Encoder e = env_.encoder();
+    chunk.encode(e);
+    env_.send(from, rt::kCatchupReplyType, std::move(e));
+    if (stats_ != nullptr) ++stats_->catchup_chunks;
+    if (chunk.done) break;
+    pos = chunk.through;
+  }
+}
+
+void MultiPaxos::on_catchup_reply(NodeId from, net::Decoder& d) {
+  (void)from;
+  rsm::LogSnapshot chunk = rsm::LogSnapshot::decode(d);
+  if (chunk.from == deliver_next_ && chunk.prefix_hash != 0 &&
+      chunk.prefix_hash != log_.rolling_hash()) {
+    log::error("multipaxos: catch-up prefix hash mismatch at index ",
+               deliver_next_, " — replicas have diverged");
+  }
+  for (auto& [index, cmd] : chunk.entries) {
+    if (index < deliver_next_) continue;
+    if (committed_.emplace(index, std::move(cmd)).second &&
+        stats_ != nullptr) {
+      ++stats_->catchup_commands;
+    }
+  }
+  if (chunk.done) {
+    catchup_needed_ = false;
+    resync_ = false;  // the gap is resolved; the backstop need not jump
+  }
+  try_deliver();
+}
+
+void MultiPaxos::catchup_tick() {
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  const bool stalled = deliver_next_ == last_deliver_mark_;
+  last_deliver_mark_ = deliver_next_;
+  // Commits queued above a stalled watermark mean this replica missed the
+  // indices in between (their COMMITs were dropped while it was down or
+  // partitioned): fetch them instead of waiting for the grace backstop.
+  if (catchup_needed_ || (stalled && !committed_.empty())) {
+    catchup_needed_ = true;
+    request_catchup();
+  }
 }
 
 void MultiPaxos::try_deliver() {
   auto it = committed_.find(deliver_next_);
   while (it != committed_.end()) {
     forwarded_.erase(it->second.id);  // our forward completed its round trip
+    log_.append(deliver_next_, it->second);
     deliver_(it->second);
     committed_.erase(it);
     ++deliver_next_;

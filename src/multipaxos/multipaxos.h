@@ -8,7 +8,11 @@
 // (Mumbai).
 //
 // Leader election/recovery is deliberately out of scope: the paper's failure
-// experiment (Fig 12) only exercises CAESAR and EPaxos.
+// experiment (Fig 12) only exercises CAESAR and EPaxos. Follower outages are
+// fully handled, though: a rejoining replica fetches the committed log
+// suffix it missed from a live peer (chunked rsm::LogSnapshot frames) and
+// replays it in index order, so its log has no gaps and its store converges
+// with the cluster.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
 #include "stats/protocol_stats.h"
 
@@ -25,11 +30,15 @@ namespace caesar::mpaxos {
 
 struct MultiPaxosConfig {
   NodeId leader = 0;
-  /// After a follower rejoin, how long to buffer COMMITs before jumping the
-  /// delivery watermark past the outage gap — long enough for the leader's
-  /// fd-retraction-delayed commit replay to arrive and shrink the gap (must
-  /// exceed the cluster's failure-detector delay).
+  /// After a follower rejoin, how long to wait before jumping the delivery
+  /// watermark past any gap that neither state transfer nor the leader's
+  /// fd-retraction replay closed (must exceed the cluster's
+  /// failure-detector delay). With catch-up in place this is a backstop
+  /// that should never fire in practice.
   Time resync_grace_us = 2 * kSec;
+  /// Progress-watchdog period: a stalled delivery watermark with commits
+  /// queued above it triggers catch-up from a live peer.
+  Time catchup_interval_us = 250 * kMs;
 };
 
 class MultiPaxos final : public rt::Protocol {
@@ -37,13 +46,21 @@ class MultiPaxos final : public rt::Protocol {
   MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
              stats::ProtocolStats* stats);
 
+  void start() override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   void on_recover() override;
+  void on_node_suspected(NodeId peer) override;
   void on_node_recovered(NodeId peer) override;
+  void on_catchup_request(NodeId from, net::Decoder& d) override;
+  void on_catchup_reply(NodeId from, net::Decoder& d) override;
   std::string_view name() const override { return "MultiPaxos"; }
 
   bool is_leader() const { return env_.id() == cfg_.leader; }
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t delivered_through() const { return deliver_next_; }
+  const rsm::CommandLog& delivered_log() const { return log_; }
 
  private:
   enum MsgType : std::uint16_t {
@@ -62,6 +79,8 @@ class MultiPaxos final : public rt::Protocol {
   /// Re-sends the recent commit window, to one peer or to everyone.
   void replay_recent_commits(NodeId peer);
   static constexpr NodeId kAllPeers = kNoNode;
+  void catchup_tick();
+  void request_catchup();
 
   MultiPaxosConfig cfg_;
   stats::ProtocolStats* stats_;
@@ -87,10 +106,16 @@ class MultiPaxos final : public rt::Protocol {
   // Learner state (all nodes): chosen log and delivery watermark.
   std::map<std::uint64_t, rsm::Command> committed_;
   std::uint64_t deliver_next_ = 0;
-  /// Set on a follower by on_recover: COMMITs buffer for a grace period
-  /// (letting the leader's replay shrink the outage gap), then the delivery
-  /// watermark jumps past whatever gap remains instead of wedging on it.
+  /// Delivered log by index, retained to serve catch-up requests.
+  rsm::CommandLog log_;
+  /// Set by on_recover: an outage gap is suspected until the catch-up reply
+  /// (or the grace-period backstop) resolves it.
   bool resync_ = false;
+  bool catchup_needed_ = false;
+  NodeId catchup_rotor_ = 0;
+  std::uint64_t last_deliver_mark_ = 0;
+  /// Failure-detector view, for catch-up peer selection.
+  std::uint64_t suspected_mask_ = 0;
 
   /// Recent own commits (leader only), re-announced by on_recover: a COMMIT
   /// in flight when the leader crashed was dropped at every learner, which

@@ -1,5 +1,6 @@
 #include "rsm/delivery_log.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace caesar::rsm {
@@ -26,6 +27,27 @@ bool consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b) {
     const auto& seq_b = b.key_sequence(key);
     if (seq_b.empty()) continue;
     if (!common_subsequence_ordered(seq_a, seq_b)) return false;
+  }
+  return true;
+}
+
+bool prefix_consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b,
+                                  std::string* why) {
+  // Iterate the union of keys: a key only one side has seen is trivially
+  // prefix-consistent (empty prefix), so only shared keys need comparing.
+  for (const auto& [key, seq_a] : a.per_key()) {
+    const auto& seq_b = b.key_sequence(key);
+    const std::size_t common = std::min(seq_a.size(), seq_b.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (seq_a[i] != seq_b[i]) {
+        if (why != nullptr) {
+          *why = "key " + std::to_string(key) + " diverges at position " +
+                 std::to_string(i) + ": " + cmd_id_str(seq_a[i]) + " vs " +
+                 cmd_id_str(seq_b[i]);
+        }
+        return false;
+      }
+    }
   }
   return true;
 }

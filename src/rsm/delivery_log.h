@@ -5,6 +5,7 @@
 // the same relative order (non-conflicting commands may be permuted).
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,5 +45,14 @@ class DeliveryLog {
 /// elements of the two per-key sequences appear in the same relative order.
 /// (Nodes may have delivered different prefixes when a run is cut off.)
 bool consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b);
+
+/// Stronger oracle: for every key, the shorter of the two per-key sequences
+/// must be a *prefix* of the longer. Rules out the gap a missing catch-up
+/// leaves behind (a rejoined node resuming delivery with missed commands
+/// omitted from the middle), which the common-relative-order check cannot
+/// see. On failure fills `why` (when non-null) with the first offending key
+/// and position.
+bool prefix_consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b,
+                                  std::string* why = nullptr);
 
 }  // namespace caesar::rsm

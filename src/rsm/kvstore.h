@@ -37,6 +37,28 @@ class KvStore {
   std::uint64_t applied_commands() const { return applied_commands_; }
   std::size_t key_count() const { return map_.size(); }
 
+  /// Order-independent digest of the full (key -> value, version) contents:
+  /// two stores digest equal iff they hold the same entries, regardless of
+  /// the order the keys were first written. Used by the consistency oracle;
+  /// a snapshot-compaction scheme (ROADMAP) would also carry it on the wire
+  /// as the integrity check of a transferred store snapshot.
+  std::uint64_t digest() const {
+    std::uint64_t d = 0;
+    for (const auto& [key, e] : map_) {
+      // FNV-1a per entry, combined by addition so iteration order (which
+      // differs across unordered_map instances) cannot matter.
+      constexpr std::uint64_t kPrime = 1099511628211ull;
+      std::uint64_t h = 1469598103934665603ull;
+      h = (h ^ key) * kPrime;
+      h = (h ^ e.value) * kPrime;
+      h = (h ^ e.version) * kPrime;
+      d += h;
+    }
+    return d;
+  }
+
+  const std::unordered_map<Key, Entry>& contents() const { return map_; }
+
  private:
   std::unordered_map<Key, Entry> map_;
   std::uint64_t applied_commands_ = 0;

@@ -1,0 +1,84 @@
+#include "rsm/log_snapshot.h"
+
+#include <algorithm>
+
+namespace caesar::rsm {
+
+void LogSnapshot::encode(net::Encoder& e) const {
+  e.put_varint(from);
+  e.put_varint(through);
+  e.put_bool(done);
+  e.put_u64(prefix_hash);
+  e.put_varint(entries.size());
+  for (const auto& [index, cmd] : entries) {
+    e.put_varint(index);
+    cmd.encode(e);
+  }
+}
+
+LogSnapshot LogSnapshot::decode(net::Decoder& d) {
+  LogSnapshot s;
+  s.from = d.get_varint();
+  s.through = d.get_varint();
+  s.done = d.get_bool();
+  s.prefix_hash = d.get_u64();
+  const std::uint64_t n = d.get_varint();
+  s.entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t index = d.get_varint();
+    s.entries.emplace_back(index, Command::decode(d));
+  }
+  return s;
+}
+
+namespace {
+
+auto lower_bound_index(
+    const std::vector<std::pair<std::uint64_t, rsm::Command>>& entries,
+    std::uint64_t index) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), index,
+      [](const auto& e, std::uint64_t i) { return e.first < i; });
+}
+
+}  // namespace
+
+const Command* CommandLog::find(std::uint64_t index) const {
+  auto it = lower_bound_index(entries_, index);
+  if (it == entries_.end() || it->first != index) return nullptr;
+  return &it->second;
+}
+
+std::uint64_t CommandLog::hash_below(std::uint64_t index) const {
+  std::uint64_t h = kSeed;
+  for (const auto& [i, cmd] : entries_) {
+    if (i >= index) break;
+    h = mix(h, i, cmd.id);
+  }
+  return h;
+}
+
+LogSnapshot CommandLog::suffix(std::uint64_t from, std::uint64_t frontier,
+                               std::size_t max_entries) const {
+  LogSnapshot s;
+  s.from = from;
+  auto it = lower_bound_index(entries_, from);
+  while (it != entries_.end() && s.entries.size() < max_entries) {
+    s.entries.push_back(*it);
+    ++it;
+  }
+  if (it == entries_.end()) {
+    // Everything delivered from `from` on is included, so skips are proven
+    // all the way to the caller's frontier.
+    s.through = std::max(from, frontier);
+    s.done = true;
+  } else {
+    // Chunk ends mid-suffix: skips are only proven below the next retained
+    // entry, which the following chunk will start from.
+    s.through = it->first;
+    s.done = false;
+  }
+  return s;
+}
+
+}  // namespace caesar::rsm

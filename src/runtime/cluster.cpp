@@ -30,6 +30,30 @@ void Cluster::start() {
 void Cluster::recover(NodeId id) {
   if (!nodes_[id]->crashed()) return;
   nodes_[id]->recover();
+  // The rejoined node's failure detector starts from a blank slate (its
+  // protocol resets its suspicion view in on_recover): mirror that in the
+  // cluster's accounting for peers that are alive again — retractions that
+  // should have reached this node while it was down were lost with its
+  // timers, and a stale flag would miscount the next suspicion episode.
+  for (NodeId j = 0; j < nodes_.size(); ++j) {
+    if (j != id && !nodes_[j]->crashed()) crash_suspects_[id][j] = false;
+  }
+  // Peers that are *still* crashed must be re-reported to it (the original
+  // suspicion upcalls fired while it was down and were lost with its
+  // timers). Same detector delay as any fresh suspicion.
+  for (NodeId j = 0; j < nodes_.size(); ++j) {
+    if (j == id || !nodes_[j]->crashed()) continue;
+    Node* self = nodes_[id].get();
+    sim_.after(cfg_.fd_timeout_us, [this, self, id, j] {
+      if (!self->crashed() && nodes_[j]->crashed()) {
+        if (!crash_suspects_[id][j]) {
+          crash_suspects_[id][j] = true;
+          ++fd_suspicions_;
+        }
+        self->protocol().on_node_suspected(j);
+      }
+    });
+  }
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (i == id || nodes_[i]->crashed()) continue;
     Node* peer = nodes_[i].get();

@@ -73,7 +73,15 @@ void Node::on_packet(NodeId from,
         try {
           net::Decoder d{std::span<const std::byte>(*bytes)};
           const std::uint16_t type = d.get_u16();
-          protocol_->on_message(from, type, d);
+          // Reserved state-transfer frames bypass the protocol's private
+          // dispatch; everything else is the protocol's own tag space.
+          if (type == kCatchupRequestType) {
+            protocol_->on_catchup_request(from, d);
+          } else if (type == kCatchupReplyType) {
+            protocol_->on_catchup_reply(from, d);
+          } else {
+            protocol_->on_message(from, type, d);
+          }
         } catch (const net::DecodeError& e) {
           log::error("node ", id_, ": dropping corrupt message from ", from,
                      ": ", e.what());

@@ -1,6 +1,27 @@
 #include "runtime/protocol.h"
 
+#include "common/logging.h"
+
 namespace caesar::rt {
+
+void Protocol::on_catchup_request(NodeId from, net::Decoder& d) {
+  (void)d;
+  log::warn(name(), ": node ", from,
+            " requested catch-up but this protocol has no state transfer");
+}
+
+void Protocol::on_catchup_reply(NodeId from, net::Decoder& d) {
+  (void)from;
+  (void)d;
+}
+
+void Protocol::send_catchup_request(NodeId to, std::uint64_t frontier,
+                                    std::uint64_t prefix_hash) {
+  net::Encoder e = env_.encoder();
+  e.put_varint(frontier);
+  e.put_u64(prefix_hash);
+  env_.send(to, kCatchupRequestType, std::move(e));
+}
 
 rsm::Command Protocol::make_composite(std::vector<rsm::Command>& cmds) {
   rsm::Command out;

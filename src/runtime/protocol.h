@@ -22,6 +22,13 @@
 
 namespace caesar::rt {
 
+/// Message types at the top of the tag space are reserved for the runtime's
+/// state-transfer framing: the node dispatches them to the catch-up hooks
+/// instead of Protocol::on_message, so every protocol shares one wire path
+/// for rejoin catch-up without burning its private tag range.
+inline constexpr std::uint16_t kCatchupRequestType = 0xFFF0;
+inline constexpr std::uint16_t kCatchupReplyType = 0xFFF1;
+
 /// Services a node runtime provides to its protocol instance.
 class Env {
  public:
@@ -103,11 +110,27 @@ class Protocol {
   /// one-shot side effects must override.
   virtual void on_recover() { start(); }
 
+  /// State-transfer hooks (kCatchupRequestType / kCatchupReplyType frames,
+  /// routed here by the node runtime). A lagging node sends a request naming
+  /// its delivery frontier (see send_catchup_request); a live peer answers
+  /// with the missing committed suffix as chunked rsm::LogSnapshot frames,
+  /// which the requester replays through its normal delivery path. Default:
+  /// the protocol has no state transfer and ignores the frames.
+  virtual void on_catchup_request(NodeId from, net::Decoder& d);
+  virtual void on_catchup_reply(NodeId from, net::Decoder& d);
+
   virtual std::string_view name() const = 0;
 
  protected:
   /// Merges client commands into one composite command with a fresh id.
   rsm::Command make_composite(std::vector<rsm::Command>& cmds);
+
+  /// Sends the shared catch-up request frame: this node's delivery frontier
+  /// (the first order index it has not resolved) and the rolling hash of its
+  /// delivered prefix, so the responder can verify the histories agree
+  /// before shipping the suffix.
+  void send_catchup_request(NodeId to, std::uint64_t frontier,
+                            std::uint64_t prefix_hash);
 
   Env& env_;
   DeliverFn deliver_;

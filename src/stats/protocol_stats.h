@@ -22,6 +22,11 @@ struct ProtocolCounters {
   std::uint64_t slow_proposals = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t waits = 0;
+  // State transfer & dead-node revocation (rejoin/catch-up subsystem).
+  std::uint64_t catchup_requests = 0;  // requests sent by lagging nodes
+  std::uint64_t catchup_chunks = 0;    // reply chunks served by live peers
+  std::uint64_t catchup_commands = 0;  // commands applied from replies
+  std::uint64_t revocations = 0;       // dead-node revocation decisions
 
   std::uint64_t decisions() const { return fast_decisions + slow_decisions; }
 
@@ -42,6 +47,10 @@ struct ProtocolCounters {
     slow_proposals += o.slow_proposals;
     recoveries += o.recoveries;
     waits += o.waits;
+    catchup_requests += o.catchup_requests;
+    catchup_chunks += o.catchup_chunks;
+    catchup_commands += o.catchup_commands;
+    revocations += o.revocations;
     return *this;
   }
 
@@ -55,6 +64,10 @@ struct ProtocolCounters {
     d.slow_proposals = slow_proposals - earlier.slow_proposals;
     d.recoveries = recoveries - earlier.recoveries;
     d.waits = waits - earlier.waits;
+    d.catchup_requests = catchup_requests - earlier.catchup_requests;
+    d.catchup_chunks = catchup_chunks - earlier.catchup_chunks;
+    d.catchup_commands = catchup_commands - earlier.catchup_commands;
+    d.revocations = revocations - earlier.revocations;
     return d;
   }
 
@@ -69,6 +82,12 @@ struct ProtocolStats {
   std::uint64_t retries = 0;            // retry phases executed
   std::uint64_t slow_proposals = 0;     // CAESAR slow-proposal phases
   std::uint64_t recoveries = 0;         // recovery procedures started
+
+  // Rejoin state transfer & dead-node revocation (see rsm/log_snapshot.h).
+  std::uint64_t catchup_requests = 0;
+  std::uint64_t catchup_chunks = 0;
+  std::uint64_t catchup_commands = 0;
+  std::uint64_t revocations = 0;
 
   // CAESAR wait condition (Fig 11b): time proposals spend parked.
   LatencyStats wait_time;
@@ -88,6 +107,10 @@ struct ProtocolStats {
     c.slow_proposals = slow_proposals;
     c.recoveries = recoveries;
     c.waits = waits;
+    c.catchup_requests = catchup_requests;
+    c.catchup_chunks = catchup_chunks;
+    c.catchup_commands = catchup_commands;
+    c.revocations = revocations;
     return c;
   }
 

@@ -84,6 +84,15 @@ void ClientPool::start() {
 void ClientPool::enter_phase(const PhaseSpec& phase) {
   ++gen_;
   mode_ = phase.mode;
+  if (phase.mode == PhaseSpec::Mode::kQuiesce) {
+    // No new submissions; the generation bump already killed the open-loop
+    // arrival chains, and client_active() turning false stops closed-loop
+    // clients from resubmitting when their in-flight request completes.
+    active_per_site_ = 0;
+    arrival_rate_tps_ = 0.0;
+    ramp_to_tps_ = 0.0;
+    return;
+  }
   if (phase.mode == PhaseSpec::Mode::kClosedLoop) {
     active_per_site_ = std::min(phase.clients_per_site, max_clients_per_site_);
     think_us_ = phase.think_us;

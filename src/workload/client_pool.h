@@ -43,7 +43,10 @@ struct PhaseSpec {
   /// kOpenLoopRamp is an open-loop phase whose rate moves linearly from
   /// arrival_rate_tps at the phase start to ramp_to_tps at the next phase
   /// start (or the pool's horizon for the last phase), then holds.
-  enum class Mode { kClosedLoop, kOpenLoop, kOpenLoopRamp };
+  /// kQuiesce stops all submissions: in-flight commands drain and the
+  /// replicas converge, which is what the consistency oracle needs at the
+  /// end of a fault scenario.
+  enum class Mode { kClosedLoop, kOpenLoop, kOpenLoopRamp, kQuiesce };
 
   Time at = 0;
   Mode mode = Mode::kClosedLoop;
@@ -78,6 +81,14 @@ struct PhaseSpec {
     PhaseSpec p = open_loop(at, from_tps);
     p.mode = Mode::kOpenLoopRamp;
     p.ramp_to_tps = to_tps;
+    return p;
+  }
+
+  static PhaseSpec quiesce(Time at) {
+    PhaseSpec p;
+    p.at = at;
+    p.mode = Mode::kQuiesce;
+    p.clients_per_site = 0;
     return p;
   }
 };

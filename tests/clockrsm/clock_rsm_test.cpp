@@ -123,6 +123,44 @@ TEST(ClockRsmTest, IdleNodesAdvanceViaTicks) {
   EXPECT_EQ(f.crsm(0).undelivered(), 0u);
 }
 
+TEST(ClockRsmTest, DeadNodeClockIsExcludedAndDeliveryContinues) {
+  // A crashed node's clock freezes, which gates delivery cluster-wide until
+  // revocation excludes it.
+  Fixture f(5);
+  for (NodeId q = 0; q < 5; ++q) f.submit(q, 1);
+  f.sim.run_until(300 * kMs);
+  f.cluster->crash(3);
+  const std::size_t at_crash = f.logs[0].size();
+  for (int i = 0; i < 20; ++i) {
+    f.sim.at(400 * kMs + i * 50 * kMs,
+             [&f, i] { f.submit(static_cast<NodeId>(i % 3), 100 + i); });
+  }
+  f.sim.run_until(5 * kSec);
+  for (NodeId q = 0; q < 5; ++q) {
+    if (q == 3) continue;
+    EXPECT_GT(f.logs[q].size(), at_crash + 15) << "node " << q;
+    EXPECT_EQ(f.logs[q].sequence(), f.logs[0].sequence()) << "node " << q;
+  }
+  EXPECT_TRUE(f.crsm(0).is_excluded(3));
+}
+
+TEST(ClockRsmTest, RejoinReplaysMissedCommandsViaStateTransfer) {
+  Fixture f(5);
+  for (NodeId q = 0; q < 5; ++q) f.submit(q, 1);
+  f.sim.run_until(300 * kMs);
+  f.cluster->crash(2);
+  for (int i = 0; i < 20; ++i) {
+    f.sim.at(400 * kMs + i * 50 * kMs,
+             [&f, i] { f.submit(static_cast<NodeId>(i % 2), 100 + i); });
+  }
+  f.sim.at(2500 * kMs, [&f] { f.cluster->recover(2); });
+  f.sim.run_until(6 * kSec);
+  ASSERT_GT(f.logs[0].size(), 20u);
+  EXPECT_EQ(f.logs[2].sequence(), f.logs[0].sequence());
+  EXPECT_GT(f.stats[2].catchup_requests, 0u);
+  EXPECT_GT(f.stats[2].catchup_commands, 0u);
+}
+
 TEST(ClockRsmTest, KnownClocksAreMonotone) {
   Fixture f(3, ClockRsmConfig{}, net::Topology::lan(3));
   f.sim.run_until(500 * kMs);

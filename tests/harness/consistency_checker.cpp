@@ -1,0 +1,83 @@
+#include "harness/consistency_checker.h"
+
+#include <sstream>
+#include <vector>
+
+namespace caesar::testing {
+
+namespace {
+
+ConsistencyVerdict fail(std::string detail) {
+  return ConsistencyVerdict{false, std::move(detail)};
+}
+
+bool same_store_contents(const rsm::KvStore& a, const rsm::KvStore& b,
+                         std::string* why) {
+  if (a.key_count() != b.key_count()) {
+    *why = "key counts differ: " + std::to_string(a.key_count()) + " vs " +
+           std::to_string(b.key_count());
+    return false;
+  }
+  for (const auto& [key, ea] : a.contents()) {
+    const auto eb = b.get(key);
+    if (!eb.has_value()) {
+      *why = "key " + std::to_string(key) + " missing on one side";
+      return false;
+    }
+    if (eb->value != ea.value || eb->version != ea.version) {
+      std::ostringstream os;
+      os << "key " << key << " differs: value " << ea.value << "/v"
+         << ea.version << " vs " << eb->value << "/v" << eb->version;
+      *why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ConsistencyVerdict check_cluster_consistency(const harness::RunReport& r,
+                                             ConsistencyOptions opt) {
+  const std::size_t n = r.stores.size();
+  if (n == 0 || r.delivery_logs.size() != n) {
+    return fail(
+        "run kept no final replica state — was the scenario's "
+        "check_consistency disabled?");
+  }
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.crashed_at_end.size() == n && r.crashed_at_end[i]) continue;
+    live.push_back(i);
+  }
+  if (live.size() < 2) return {};  // nothing to compare
+
+  for (std::size_t x = 0; x < live.size(); ++x) {
+    for (std::size_t y = x + 1; y < live.size(); ++y) {
+      const std::size_t i = live[x];
+      const std::size_t j = live[y];
+      std::string why;
+      if (!rsm::prefix_consistent_key_orders(r.delivery_logs[i],
+                                             r.delivery_logs[j], &why)) {
+        return fail("nodes " + std::to_string(i) + " and " +
+                    std::to_string(j) + " are not prefix-consistent: " + why);
+      }
+      if (opt.require_equal_sequences &&
+          r.delivery_logs[i].sequence() != r.delivery_logs[j].sequence()) {
+        return fail("nodes " + std::to_string(i) + " and " +
+                    std::to_string(j) + " delivered different sequences (" +
+                    std::to_string(r.delivery_logs[i].size()) + " vs " +
+                    std::to_string(r.delivery_logs[j].size()) +
+                    " commands)");
+      }
+      if (opt.require_converged_stores &&
+          !same_store_contents(r.stores[i], r.stores[j], &why)) {
+        return fail("stores of nodes " + std::to_string(i) + " and " +
+                    std::to_string(j) + " did not converge: " + why);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace caesar::testing

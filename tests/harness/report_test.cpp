@@ -121,6 +121,8 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"p50\":1000,\"p90\":1000,\"p99\":1000},"
       "\"protocol\":{\"fast_decisions\":2,\"slow_decisions\":0,\"retries\":0,"
       "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
+      "\"catchup_requests\":0,\"catchup_chunks\":0,"
+      "\"catchup_commands\":0,\"revocations\":0,"
       "\"fast_path_fraction\":1},"
       "\"phase_latency_us\":{"
       "\"wait\":{\"count\":2,\"mean\":1000,\"min\":500,\"max\":1500,"
@@ -138,6 +140,8 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"p50\":1000,\"p90\":1000,\"p99\":1000},"
       "\"protocol\":{\"fast_decisions\":2,\"slow_decisions\":0,\"retries\":0,"
       "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
+      "\"catchup_requests\":0,\"catchup_chunks\":0,"
+      "\"catchup_commands\":0,\"revocations\":0,"
       "\"fast_path_fraction\":1}}],"
       "\"sites\":[{\"name\":\"A\",\"latency_us\":{\"count\":1,\"mean\":1000,"
       "\"min\":1000,\"max\":1000,\"p50\":1000,\"p90\":1000,\"p99\":1000}},"

@@ -139,6 +139,55 @@ TEST(MenciusTest, InterleavedProposalsKeepSlotOrder) {
   f.expect_total_order();
 }
 
+TEST(MenciusTest, RejoinReplaysOmittedSlotsViaStateTransfer) {
+  // A node down across many committed slots must come back with the *same*
+  // history as everyone else — before state transfer its log silently
+  // omitted everything committed during the outage.
+  Fixture f(5);
+  for (int i = 0; i < 5; ++i) f.submit(0, static_cast<Key>(i));
+  f.sim.run_until(300 * kMs);
+  f.cluster->crash(1);
+  // Traffic the crashed node never hears about.
+  for (int i = 5; i < 25; ++i) {
+    f.sim.at(400 * kMs + i * 50 * kMs,
+             [&f, i] { f.submit(static_cast<NodeId>(i % 5 == 1 ? 0 : i % 5),
+                                static_cast<Key>(i)); });
+  }
+  f.sim.at(2500 * kMs, [&f] { f.cluster->recover(1); });
+  f.sim.run_until(6 * kSec);
+  ASSERT_GT(f.logs[0].size(), 20u);
+  // The rejoined node replayed the missed suffix: identical total order,
+  // nothing omitted from the middle.
+  EXPECT_EQ(f.logs[1].sequence(), f.logs[0].sequence());
+  EXPECT_GT(f.stats[1].catchup_requests, 0u);
+  EXPECT_GT(f.stats[1].catchup_commands, 0u);
+}
+
+TEST(MenciusTest, DeadNodeSlotsAreRevokedAndDeliveryContinues) {
+  // Without revocation every live node wedges at the dead owner's first
+  // unresolved slot forever.
+  Fixture f(5);
+  for (int i = 0; i < 5; ++i) f.submit(static_cast<NodeId>(i), 1);
+  f.sim.run_until(300 * kMs);
+  f.cluster->crash(4);
+  const std::size_t at_crash = f.logs[0].size();
+  for (int i = 0; i < 20; ++i) {
+    f.sim.at(400 * kMs + i * 50 * kMs,
+             [&f, i] { f.submit(static_cast<NodeId>(i % 4), 100 + i); });
+  }
+  f.sim.run_until(5 * kSec);
+  // Delivery continued well past the crash on every live node...
+  for (NodeId q = 0; q < 4; ++q) {
+    EXPECT_GT(f.logs[q].size(), at_crash + 15) << "node " << q;
+    EXPECT_EQ(f.logs[q].sequence(), f.logs[0].sequence()) << "node " << q;
+  }
+  // ...because the designated revoker resolved the dead node's slots.
+  std::uint64_t revocations = 0;
+  for (const auto& st : f.stats) revocations += st.revocations;
+  EXPECT_GE(revocations, 1u);
+  EXPECT_TRUE(f.mencius(0).is_revoked(4));
+}
+
 TEST(MenciusTest, HeartbeatsUnblockIdlePeriods) {
   // A command proposed after a long idle gap must still deliver (floors of
   // idle nodes advance via heartbeats).

@@ -1,0 +1,111 @@
+// CommandLog retention/suffix-extraction and LogSnapshot wire roundtrips —
+// the building blocks of rejoin state transfer.
+#include "rsm/log_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "rsm/kvstore.h"
+
+namespace caesar::rsm {
+namespace {
+
+Command cmd(std::uint64_t seq, Key key = 1) {
+  Command c;
+  c.id = make_cmd_id(0, seq);
+  c.origin = 0;
+  c.ops.push_back(Op{key, seq, seq * 10});
+  return c;
+}
+
+TEST(CommandLogTest, FindLocatesDeliveredSlotsOnly) {
+  CommandLog log;
+  log.append(0, cmd(1));
+  log.append(2, cmd(2));  // slot 1 skipped
+  log.append(7, cmd(3));
+  ASSERT_NE(log.find(2), nullptr);
+  EXPECT_EQ(log.find(2)->id, make_cmd_id(0, 2));
+  EXPECT_EQ(log.find(1), nullptr);
+  EXPECT_EQ(log.find(8), nullptr);
+}
+
+TEST(CommandLogTest, PrefixHashMatchesIncrementalHash) {
+  CommandLog a, b;
+  for (std::uint64_t i = 0; i < 10; ++i) a.append(i, cmd(i));
+  for (std::uint64_t i = 0; i < 6; ++i) b.append(i, cmd(i));
+  // b holds exactly a's prefix below 6, so a's replayed prefix hash matches
+  // b's rolling hash — the divergence tripwire catch-up relies on.
+  EXPECT_EQ(a.hash_below(6), b.rolling_hash());
+  EXPECT_NE(a.rolling_hash(), b.rolling_hash());
+  // A different history below the same bound does not match.
+  CommandLog c;
+  for (std::uint64_t i = 0; i < 6; ++i) c.append(i, cmd(i + 100));
+  EXPECT_NE(a.hash_below(6), c.rolling_hash());
+}
+
+TEST(CommandLogTest, SuffixCoversGapAndProvesSkips) {
+  CommandLog log;
+  log.append(0, cmd(1));
+  log.append(3, cmd(2));
+  log.append(4, cmd(3));
+  const LogSnapshot s = log.suffix(/*from=*/2, /*frontier=*/6, /*max=*/100);
+  EXPECT_TRUE(s.done);
+  EXPECT_EQ(s.from, 2u);
+  EXPECT_EQ(s.through, 6u);  // slots 2 and 5 proven skipped
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_EQ(s.entries[0].first, 3u);
+  EXPECT_EQ(s.entries[1].first, 4u);
+}
+
+TEST(CommandLogTest, SuffixChunksBoundEachReply) {
+  CommandLog log;
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(i, cmd(i));
+  LogSnapshot first = log.suffix(0, 10, /*max_entries=*/4);
+  EXPECT_FALSE(first.done);
+  EXPECT_EQ(first.entries.size(), 4u);
+  EXPECT_EQ(first.through, 4u);  // next chunk starts here
+  LogSnapshot second = log.suffix(first.through, 10, 4);
+  EXPECT_FALSE(second.done);
+  LogSnapshot last = log.suffix(second.through, 10, 4);
+  EXPECT_TRUE(last.done);
+  EXPECT_EQ(last.through, 10u);
+  EXPECT_EQ(first.entries.size() + second.entries.size() + last.entries.size(),
+            10u);
+}
+
+TEST(LogSnapshotTest, WireRoundtrip) {
+  LogSnapshot s;
+  s.from = 5;
+  s.through = 42;
+  s.done = false;
+  s.prefix_hash = 0xDEADBEEFCAFEF00Dull;
+  s.entries.emplace_back(7, cmd(1, 9));
+  s.entries.emplace_back(12, cmd(2, 11));
+  net::Encoder e;
+  s.encode(e);
+  const std::vector<std::byte> bytes = e.take();
+  net::Decoder d{std::span<const std::byte>(bytes)};
+  const LogSnapshot out = LogSnapshot::decode(d);
+  EXPECT_TRUE(d.at_end());
+  EXPECT_EQ(out.from, s.from);
+  EXPECT_EQ(out.through, s.through);
+  EXPECT_EQ(out.done, s.done);
+  EXPECT_EQ(out.prefix_hash, s.prefix_hash);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].first, 7u);
+  EXPECT_EQ(out.entries[0].second, s.entries[0].second);
+  EXPECT_EQ(out.entries[1].second, s.entries[1].second);
+}
+
+TEST(KvStoreDigestTest, OrderIndependentAndContentSensitive) {
+  KvStore a, b;
+  a.apply(cmd(1, 5));
+  a.apply(cmd(2, 9));
+  b.apply(cmd(2, 9));  // same contents, different write order across keys
+  b.apply(cmd(1, 5));
+  EXPECT_EQ(a.digest(), b.digest());
+  b.apply(cmd(3, 9));  // extra version on key 9
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace caesar::rsm
