@@ -53,6 +53,10 @@ void usage() {
       "  --batching        enable request batching\n"
       "  --no-wait         CAESAR ablation: disable the wait condition\n"
       "  --crash=SITE      crash this site halfway through the run\n"
+      "  --data-dir=DIR    enable durable storage (WAL + snapshots) under DIR;\n"
+      "                    required by scenarios with power-loss/restart faults\n"
+      "  --sync-mode=MODE  WAL group-commit policy: none|batched|always\n"
+      "                    (default batched; needs --data-dir)\n"
       "  --window=SEC      fixed metrics-window width (default: per-phase)\n"
       "  --json=FILE       also write the run report as JSON to FILE\n";
 }
@@ -61,6 +65,7 @@ void usage() {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool sync_mode_set = false;
   harness::Scenario s;
   s.name = "cli";
   s.workload.conflict_fraction = 0.10;
@@ -141,6 +146,20 @@ int main(int argc, char** argv) {
     } else if (auto v = value_of("--crash=")) {
       s.faults.push_back(harness::FaultEvent::Crash(
           static_cast<NodeId>(std::atoi(v->c_str())), s.duration / 2));
+    } else if (auto v = value_of("--data-dir=")) {
+      if (v->empty()) {
+        std::cerr << "--data-dir requires a directory path\n";
+        return 2;
+      }
+      s.storage.data_dir = *v;
+    } else if (auto v = value_of("--sync-mode=")) {
+      try {
+        s.storage.sync_mode = storage::parse_sync_mode(*v);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+      sync_mode_set = true;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage();
@@ -148,12 +167,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (sync_mode_set && !s.storage.enabled()) {
+    std::cerr << "--sync-mode has no effect without --data-dir (or a "
+                 "scenario that sets one)\n";
+    return 2;
+  }
+
   std::cout << "scenario=" << s.name << " protocol=" << to_string(s.protocol)
             << " conflict=" << s.workload.conflict_fraction * 100 << "%"
             << " clients/site=" << s.workload.clients_per_site
             << " duration=" << s.duration / kSec << "s seed=" << s.seed
             << (s.node.batching ? " batching" : "")
-            << (s.caesar.wait_enabled ? "" : " no-wait") << "\n";
+            << (s.caesar.wait_enabled ? "" : " no-wait");
+  if (s.storage.enabled()) {
+    std::cout << " data-dir=" << s.storage.data_dir
+              << " sync-mode=" << storage::to_string(s.storage.sync_mode);
+  }
+  std::cout << "\n";
   for (const auto& e : s.faults) std::cout << "fault: " << to_string(e) << "\n";
   std::cout << "\n";
 

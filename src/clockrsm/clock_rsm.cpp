@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "storage/durability.h"
 
 namespace caesar::clockrsm {
 
@@ -24,6 +25,13 @@ ClockRsm::ClockRsm(rt::Env& env, DeliverFn deliver, ClockRsmConfig cfg,
   skew_ = static_cast<Time>(env_.rng().uniform_int(
               static_cast<std::uint64_t>(span))) -
           cfg_.max_skew_us;
+  dur_ = env.durability();
+  if (dur_ != nullptr) {
+    dur_->set_stats(stats_);
+    dur_->set_snapshot_hook([this](std::uint64_t frontier) {
+      delivered_.compact_through(frontier);
+    });
+  }
 }
 
 Time ClockRsm::physical_now() const {
@@ -100,6 +108,7 @@ void ClockRsm::propose(rsm::Command cmd) {
   if (t > clocks_[env_.id()]) clocks_[env_.id()] = t;
 
   const Stamp stamp{t, env_.id()};
+  if (dur_ != nullptr) dur_->record_accept(pack(stamp), cmd);
   net::Encoder e = env_.encoder();
   e.put_i64(t);
   cmd.encode(e);
@@ -137,6 +146,7 @@ void ClockRsm::handle_propose(NodeId from, net::Decoder& d) {
               std::move(e));
     return;
   }
+  if (dur_ != nullptr) dur_->record_accept(packed, cmd);
   log_.emplace(stamp, Entry{std::move(cmd), 0, false, 0});
   // Ack duplicates too: the original ack may have died in the proposer's
   // crash, and the ack bitmask makes re-acks idempotent on its side.
@@ -238,6 +248,7 @@ void ClockRsm::maybe_complete_resyncs() {
 
 void ClockRsm::deliver_entry(const Stamp& stamp, Entry entry) {
   const std::uint64_t packed = pack(stamp);
+  if (dur_ != nullptr) dur_->record_deliver(packed, packed + 1, entry.cmd);
   delivered_.append(packed, entry.cmd);
   frontier_ = packed + 1;
   deliver_(std::move(entry.cmd));
@@ -287,6 +298,14 @@ void ClockRsm::request_catchup() {
 void ClockRsm::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t req_frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
+  if (dur_ != nullptr && req_frontier < delivered_.base_index()) {
+    // Requester is behind our compaction horizon: serve the store snapshot
+    // at the current frontier (the durability mirror is the delivered
+    // state); it re-asks for the remaining suffix through the chunked path.
+    send_catchup_snapshot(from, dur_->mirror_store(), frontier_,
+                          delivered_.rolling_hash(), dur_->delivered_count());
+    return;
+  }
   // The prefix hash is only meaningful when this node has resolved at least
   // as far as the requester: a lagging responder's log is simply shorter,
   // not divergent. 0 marks "no comparison possible" for the requester.
@@ -404,6 +423,65 @@ void ClockRsm::on_catchup_reply(NodeId from, net::Decoder& d) {
   maybe_activate_exclusions();
   for (auto& cmd : reraise) propose(std::move(cmd));
   try_deliver();
+}
+
+void ClockRsm::on_catchup_snapshot(NodeId from, net::Decoder& d) {
+  rt::Protocol::CatchupSnapshot s = decode_catchup_snapshot(d);
+  if (!s.valid) {
+    log::error("clockrsm: catch-up snapshot from node ", from,
+               " failed its digest check — dropping");
+    return;
+  }
+  if (s.frontier <= frontier_) return;  // raced a chunked catch-up
+  if (dur_ != nullptr) {
+    dur_->install_snapshot(s.store, s.frontier, s.prefix_hash,
+                           s.delivered_count);
+  }
+  delivered_.set_base(s.frontier, s.prefix_hash);
+  frontier_ = s.frontier;
+  // Drop ALL entries stamped below the installed frontier, own ones
+  // included. The chunked reply path re-stamps own entries because the
+  // replayed suffix proves they were never delivered; the snapshot carries
+  // no per-stamp history — our command may already be folded into the
+  // store, and re-stamping it would deliver it a second time cluster-wide.
+  while (!log_.empty() && pack(log_.begin()->first) < frontier_) {
+    log_.erase(log_.begin());
+  }
+  env_.notify_snapshot_install(s.store, s.delivered_count);
+  maybe_complete_resyncs();
+  maybe_activate_exclusions();
+  // Everything newer than the snapshot still arrives the normal way.
+  catchup_needed_ = true;
+  request_catchup();
+  try_deliver();
+}
+
+void ClockRsm::on_restore(storage::RecoveredState& st) {
+  // Fresh instance, pre-rejoin: rebuild silently (no deliver_ upcalls).
+  delivered_ = std::move(st.log);
+  frontier_ = st.frontier;
+  // Monotonicity across the restart: never stamp at or below anything the
+  // previous incarnation durably delivered or offered — the skew draw above
+  // is fresh, so the physical clock alone does not guarantee it.
+  if (frontier_ > 0) {
+    last_stamp_ = static_cast<Time>((frontier_ - 1) >> 8);
+  }
+  for (auto& [packed, cmd] : st.accepts) {
+    const Stamp stamp = unpack(packed);
+    if (stamp.node == env_.id()) {
+      last_stamp_ = std::max(last_stamp_, stamp.t);
+      // Our own in-flight proposal: on_recover's barrage re-announces it at
+      // its original stamp, and acks are recounted from scratch.
+      log_.emplace(stamp,
+                   Entry{std::move(cmd), 1ull << env_.id(), false, env_.now()});
+    } else {
+      // An entry we acked before the crash: keep holding it uncommitted;
+      // catch-up replays it if the cluster delivered it, or the owner's
+      // re-drive / a revocation verdict resolves it.
+      log_.emplace(stamp, Entry{std::move(cmd), 0, false, 0});
+    }
+  }
+  if (last_stamp_ > clocks_[env_.id()]) clocks_[env_.id()] = last_stamp_;
 }
 
 void ClockRsm::catchup_tick() {

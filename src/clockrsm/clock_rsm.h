@@ -63,6 +63,8 @@ class ClockRsm final : public rt::Protocol {
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   void on_catchup_request(NodeId from, net::Decoder& d) override;
   void on_catchup_reply(NodeId from, net::Decoder& d) override;
+  void on_catchup_snapshot(NodeId from, net::Decoder& d) override;
+  void on_restore(storage::RecoveredState& st) override;
   std::string_view name() const override { return "ClockRSM"; }
 
   // --- introspection -------------------------------------------------------
@@ -148,6 +150,11 @@ class ClockRsm final : public rt::Protocol {
 
   ClockRsmConfig cfg_;
   stats::ProtocolStats* stats_;
+  /// Durable storage handle (null without a data dir). No index-reuse bound
+  /// is needed here: stamps derive from the physical clock, and on_restore
+  /// re-seeds last_stamp_ from the durable state, so a restarted node can
+  /// never re-stamp below anything it offered before the crash.
+  storage::Durability* dur_ = nullptr;
   std::size_t n_;
   std::size_t cq_;
   Time skew_;

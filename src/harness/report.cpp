@@ -121,6 +121,12 @@ void print_report(const RunReport& r, std::ostream& os) {
        << "  commands replayed: " << r.proto.catchup_commands
        << "  revocations: " << r.proto.revocations;
   }
+  if (r.proto.wal_appends > 0) {
+    os << "\nwal appends: " << r.proto.wal_appends
+       << "  fsyncs: " << r.proto.fsyncs
+       << "  snapshots: " << r.proto.snapshots
+       << "  truncated segments: " << r.proto.truncated_segments;
+  }
   os << "\nconsistent: " << (r.consistent ? "yes" : "NO") << "\n";
 }
 
@@ -214,6 +220,9 @@ void counters_json(std::ostream& os, const stats::ProtocolCounters& c) {
      << ",\"catchup_chunks\":" << c.catchup_chunks
      << ",\"catchup_commands\":" << c.catchup_commands
      << ",\"revocations\":" << c.revocations
+     << ",\"wal_appends\":" << c.wal_appends << ",\"fsyncs\":" << c.fsyncs
+     << ",\"snapshots\":" << c.snapshots
+     << ",\"truncated_segments\":" << c.truncated_segments
      << ",\"fast_path_fraction\":" << json_num(c.fast_path_fraction()) << "}";
 }
 

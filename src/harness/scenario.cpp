@@ -1,6 +1,7 @@
 #include "harness/scenario.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -66,6 +67,21 @@ FaultEvent FaultEvent::Heal(NodeId a, NodeId b, Time at) {
   return e;
 }
 
+FaultEvent FaultEvent::PowerLoss(Time at) {
+  FaultEvent e;
+  e.kind = Kind::kPowerLoss;
+  e.at = at;
+  return e;
+}
+
+FaultEvent FaultEvent::Restart(NodeId node, Time at) {
+  FaultEvent e;
+  e.kind = Kind::kRestart;
+  e.node = node;
+  e.at = at;
+  return e;
+}
+
 std::string to_string(const FaultEvent& e) {
   std::ostringstream os;
   switch (e.kind) {
@@ -80,6 +96,12 @@ std::string to_string(const FaultEvent& e) {
       break;
     case FaultEvent::Kind::kHeal:
       os << "Heal{a=" << e.a << ", b=" << e.b;
+      break;
+    case FaultEvent::Kind::kPowerLoss:
+      os << "PowerLoss{all";
+      break;
+    case FaultEvent::Kind::kRestart:
+      os << "Restart{node=" << e.node;
       break;
   }
   os << ", at=" << e.at << "us}";
@@ -177,8 +199,28 @@ ScenarioBuilder& ScenarioBuilder::heal(NodeId a, NodeId b, Time at) {
   s_.faults.push_back(FaultEvent::Heal(a, b, at));
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::power_loss(Time at) {
+  s_.faults.push_back(FaultEvent::PowerLoss(at));
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::restart(NodeId node, Time at) {
+  s_.faults.push_back(FaultEvent::Restart(node, at));
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::fault(FaultEvent e) {
   s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::storage(caesar::storage::StorageConfig v) {
+  s_.storage = std::move(v);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::data_dir(std::string v) {
+  s_.storage.data_dir = std::move(v);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::sync_mode(caesar::storage::SyncMode v) {
+  s_.storage.sync_mode = v;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::caesar(core::CaesarConfig v) {
@@ -322,6 +364,21 @@ void validate_scenario(const Scenario& s) {
         check_node_in_range(s, e.b, "fault.b");
         if (e.a == e.b) fail(s, to_string(e) + " partitions a node from itself");
         break;
+      case FaultEvent::Kind::kPowerLoss:
+        if (!s.storage.enabled()) {
+          fail(s, to_string(e) +
+                      " requires durable storage (set Scenario::storage."
+                      "data_dir), or there is nothing to restart from");
+        }
+        break;
+      case FaultEvent::Kind::kRestart:
+        check_node_in_range(s, e.node, "fault.node");
+        if (!s.storage.enabled()) {
+          fail(s, to_string(e) +
+                      " requires durable storage (set Scenario::storage."
+                      "data_dir), or there is nothing to restart from");
+        }
+        break;
     }
   }
 
@@ -431,6 +488,10 @@ stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node
     total.catchup_chunks += s.catchup_chunks;
     total.catchup_commands += s.catchup_commands;
     total.revocations += s.revocations;
+    total.wal_appends += s.wal_appends;
+    total.fsyncs += s.fsyncs;
+    total.snapshots += s.snapshots;
+    total.truncated_segments += s.truncated_segments;
     total.wait_time.merge(s.wait_time);
     total.propose_phase.merge(s.propose_phase);
     total.retry_phase.merge(s.retry_phase);
@@ -537,6 +598,13 @@ RunReport run_scenario(const Scenario& s) {
   ccfg.node = s.node;
   ccfg.fd_timeout_us = s.fd_timeout_us;
   ccfg.suspect_partitions = s.fd_suspect_partitions;
+  ccfg.storage = s.storage;
+  if (s.storage.enabled()) {
+    // A stale data dir would replay a previous run's WAL into this one;
+    // wiping keeps every run reproducible from (scenario, seed) alone.
+    std::filesystem::remove_all(s.storage.data_dir);
+    std::filesystem::create_directories(s.storage.data_dir);
+  }
 
   rt::Cluster cluster(
       sim, s.topology, ccfg, make_factory(s, result.per_node),
@@ -549,6 +617,31 @@ RunReport run_scenario(const Scenario& s) {
   wl::ClientPool pool(sim, cluster, s.workload, sim.rng().fork(), s.phases,
                       s.duration);
   pool_ptr = &pool;
+
+  // Keep the harness-side mirrors honest across durability events. A restart
+  // rolls a node's observable history back to its durable prefix (or, when
+  // its WAL was compacted, to the retained suffix — the mirror log turns
+  // trimmed and the oracle switches to suffix semantics); a catch-up
+  // snapshot install replaces the store wholesale mid-run.
+  cluster.set_restart_hook([&](NodeId node,
+                               const caesar::storage::RecoveredState& st) {
+    if (s.check_consistency) {
+      if (st.trimmed) {
+        logs[node].reset_trimmed();
+        for (const auto& [index, cmd] : st.log.entries()) {
+          logs[node].record(cmd);
+        }
+      } else {
+        logs[node].truncate(st.delivered_count);
+      }
+    }
+    kvs[node] = st.store;
+  });
+  cluster.set_snapshot_install_hook(
+      [&](NodeId node, const rsm::KvStore& store, std::uint64_t) {
+        if (s.check_consistency) logs[node].reset_trimmed();
+        kvs[node] = store;
+      });
   // Window assignment is by completion instant: windows are half-open
   // [begin, end) slices in time order and completions arrive in time order,
   // so a single advancing index suffices; completions at exactly t=duration
@@ -587,6 +680,17 @@ RunReport run_scenario(const Scenario& s) {
           break;
         case FaultEvent::Kind::kHeal:
           cluster.set_link(e.a, e.b, true);
+          break;
+        case FaultEvent::Kind::kPowerLoss:
+          for (NodeId i = 0; i < cluster.size(); ++i) {
+            if (cluster.node(i).crashed()) continue;
+            cluster.crash(i);
+            pool.on_node_crashed(i);
+          }
+          break;
+        case FaultEvent::Kind::kRestart:
+          cluster.restart(e.node);
+          pool.on_node_recovered(e.node);
           break;
       }
     });
@@ -831,6 +935,59 @@ void register_builtins() {
             .duration(12 * kSec)
             .warmup(1 * kSec)
             .seed(29)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "power-loss",
+      "Whole-cluster power loss at t=4s: every node crashes at once and "
+      "restarts from its WAL one second later — unflushed group-commit "
+      "batches are gone, so the replicas resume from (possibly different) "
+      "durable prefixes, reconcile via catch-up and converge; quiesce tail "
+      "for the consistency oracle",
+      [] {
+        wl::WorkloadConfig w;
+        w.clients_per_site = 6;
+        w.conflict_fraction = 0.10;
+        w.reconnect_delay_us = 1 * kSec;
+        ScenarioBuilder b("power-loss");
+        b.protocol(ProtocolKind::kMencius)
+            .workload(w)
+            .closed_loop(0, 6)
+            .quiesce(10 * kSec)
+            .power_loss(4 * kSec)
+            .data_dir("caesar-data/power-loss")
+            .fd_timeout(500 * kMs)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(31);
+        for (NodeId i = 0; i < 5; ++i) b.restart(i, 5 * kSec);
+        return b.build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "restart-disk",
+      "Restart-from-disk: Frankfurt is down from t=3s to t=6s, then comes "
+      "back from its own snapshot + WAL instead of empty — replay rebuilds "
+      "the durable prefix locally, the PR-5 catch-up path fetches only the "
+      "suffix it missed; quiesce tail for the consistency oracle",
+      [] {
+        wl::WorkloadConfig w;
+        w.clients_per_site = 6;
+        w.conflict_fraction = 0.10;
+        w.reconnect_delay_us = 1 * kSec;
+        return ScenarioBuilder("restart-disk")
+            .protocol(ProtocolKind::kMencius)
+            .workload(w)
+            .closed_loop(0, 6)
+            .quiesce(10 * kSec)
+            .crash(2, 3 * kSec)
+            .restart(2, 6 * kSec)
+            .data_dir("caesar-data/restart-disk")
+            .fd_timeout(500 * kMs)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(37)
             .build();
       }});
 

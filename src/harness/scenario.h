@@ -52,11 +52,16 @@ std::string_view to_string(ProtocolKind kind);
 
 /// One entry of a scenario's fault timeline.
 struct FaultEvent {
-  enum class Kind { kCrash, kRecover, kPartition, kHeal };
+  /// kPowerLoss crashes every live node at once (whatever their WALs had
+  /// not flushed is gone); kRestart brings a crashed node back from its
+  /// durable state via Cluster::restart (snapshot + WAL replay, then
+  /// catch-up from live peers). Both require the scenario to set a storage
+  /// data dir.
+  enum class Kind { kCrash, kRecover, kPartition, kHeal, kPowerLoss, kRestart };
 
   Kind kind = Kind::kCrash;
   Time at = 0;
-  /// Crash/Recover target.
+  /// Crash/Recover/Restart target.
   NodeId node = kNoNode;
   /// Partition/Heal link endpoints.
   NodeId a = kNoNode;
@@ -66,6 +71,8 @@ struct FaultEvent {
   static FaultEvent Recover(NodeId node, Time at);
   static FaultEvent Partition(NodeId a, NodeId b, Time at);
   static FaultEvent Heal(NodeId a, NodeId b, Time at);
+  static FaultEvent PowerLoss(Time at);
+  static FaultEvent Restart(NodeId node, Time at);
 };
 
 std::string to_string(const FaultEvent& e);
@@ -84,6 +91,10 @@ struct Scenario {
   /// Fault timeline; executed in time order during the run.
   std::vector<FaultEvent> faults;
   rt::NodeConfig node;
+  /// Durable storage (WAL + snapshots). Off unless data_dir is set; the
+  /// runner wipes and recreates the directory at the start of each run so
+  /// results stay reproducible. Required by kPowerLoss/kRestart faults.
+  storage::StorageConfig storage;
   Time fd_timeout_us = 500 * kMs;
   /// FD/partition coupling: a peer whose link stays cut past fd_timeout_us
   /// is suspected by the node on the far side, and the suspicion retracts
@@ -162,7 +173,17 @@ class ScenarioBuilder {
   ScenarioBuilder& recover(NodeId node, Time at);
   ScenarioBuilder& partition(NodeId a, NodeId b, Time at);
   ScenarioBuilder& heal(NodeId a, NodeId b, Time at);
+  /// Full-cluster power loss: every live node crashes at `at`.
+  ScenarioBuilder& power_loss(Time at);
+  /// Restart-from-disk of a crashed node (requires data_dir()).
+  ScenarioBuilder& restart(NodeId node, Time at);
   ScenarioBuilder& fault(FaultEvent e);
+
+  // Durable storage. (Qualified types: the `storage` member function hides
+  // the namespace for the rest of the class.)
+  ScenarioBuilder& storage(caesar::storage::StorageConfig v);
+  ScenarioBuilder& data_dir(std::string v);
+  ScenarioBuilder& sync_mode(caesar::storage::SyncMode v);
 
   // Protocol knobs.
   ScenarioBuilder& caesar(core::CaesarConfig v);

@@ -1,8 +1,10 @@
 #include "mencius/mencius.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
+#include "storage/durability.h"
 
 namespace caesar::mencius {
 
@@ -19,6 +21,15 @@ Mencius::Mencius(rt::Env& env, DeliverFn deliver, MenciusConfig cfg,
       revoked_(env.cluster_size(), false),
       revoke_from_(env.cluster_size(), 0) {
   for (NodeId q = 0; q < n_; ++q) floor_[q] = q;  // initial own slot of q
+  dur_ = env.durability();
+  if (dur_ != nullptr) {
+    dur_->set_stats(stats_);
+    // A durable snapshot covers the delivered prefix below its frontier:
+    // the in-memory log can drop it (catch-up requesters behind the new
+    // base get snapshot-then-suffix instead of replayed entries).
+    dur_->set_snapshot_hook(
+        [this](std::uint64_t frontier) { log_.compact_through(frontier); });
+  }
 }
 
 void Mencius::start() {
@@ -194,6 +205,17 @@ void Mencius::heartbeat() {
 
 void Mencius::propose(rsm::Command cmd) {
   const std::uint64_t slot = next_own_slot_;
+  if (dur_ != nullptr) {
+    // Slot-reuse fence: before the first broadcast at or above the durable
+    // bound, persist (force-flushed) a promise never to originate below
+    // slot + lease. After a crash the restart resumes above the bound, so
+    // no slot can be offered twice with different values.
+    if (slot >= durable_bound_) {
+      durable_bound_ = slot + kBoundLease * n_;
+      dur_->record_bound(durable_bound_);
+    }
+    dur_->record_accept(slot, cmd);
+  }
   next_own_slot_ += n_;
   floor_[env_.id()] = next_own_slot_;
 
@@ -275,6 +297,7 @@ void Mencius::handle_accept(NodeId from, net::Decoder& d) {
     return;
   }
 
+  if (dur_ != nullptr) dur_->record_accept(slot, cmd);
   accepted_slots_[slot] = Accepted{env_.now(), std::move(cmd)};
   skip_own_slots_below(slot);
 
@@ -330,6 +353,7 @@ void Mencius::handle_commit(NodeId from, net::Decoder& d) {
 void Mencius::deliver_slot(std::uint64_t slot, rsm::Command cmd) {
   pending_.erase(slot);
   accepted_slots_.erase(slot);
+  if (dur_ != nullptr) dur_->record_deliver(slot, slot + 1, cmd);
   log_.append(slot, cmd);
   deliver_(std::move(cmd));
 }
@@ -387,6 +411,12 @@ void Mencius::try_deliver() {
     }
     break;  // must hear more from `owner` — the "slowest node" bottleneck
   }
+  // Skip-only advances (floors, revocation verdicts, catch-up watermarks)
+  // move the frontier without a delivery record; one frontier record at the
+  // end covers the whole run of them.
+  if (dur_ != nullptr && next_deliver_ > dur_->frontier()) {
+    dur_->record_frontier(next_deliver_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -409,6 +439,16 @@ void Mencius::request_catchup() {
 void Mencius::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
+  if (dur_ != nullptr && frontier < log_.base_index()) {
+    // The requester is behind this node's compaction horizon: the entries
+    // it needs were truncated with the covering snapshot. Serve the store
+    // snapshot at the *current* frontier instead (the durability mirror is
+    // exactly the delivered state); the requester installs it, then re-asks
+    // for the suffix above it through the normal chunked path.
+    send_catchup_snapshot(from, dur_->mirror_store(), next_deliver_,
+                          log_.rolling_hash(), dur_->delivered_count());
+    return;
+  }
   // The prefix hash is only meaningful when this node has resolved at least
   // as far as the requester: a lagging responder's log is simply shorter,
   // not divergent. 0 marks "no comparison possible" for the requester.
@@ -491,6 +531,80 @@ void Mencius::on_catchup_reply(NodeId from, net::Decoder& d) {
     skip_own_slots_below(skip_below_);
   }
   try_deliver();
+}
+
+void Mencius::on_catchup_snapshot(NodeId from, net::Decoder& d) {
+  rt::Protocol::CatchupSnapshot s = decode_catchup_snapshot(d);
+  if (!s.valid) {
+    log::error("mencius: catch-up snapshot from node ", from,
+               " failed its digest check — dropping");
+    return;
+  }
+  if (s.frontier <= next_deliver_) return;  // raced a chunked catch-up
+  if (dur_ != nullptr) {
+    dur_->install_snapshot(s.store, s.frontier, s.prefix_hash,
+                           s.delivered_count);
+  }
+  // The delivered prefix below the snapshot frontier is now represented
+  // only by its hash: rebase the log and jump the delivery cursor. Local
+  // leftovers below the frontier are resolved by definition — committed and
+  // accepted entries were delivered or skipped at the responder.
+  log_.set_base(s.frontier, s.prefix_hash);
+  next_deliver_ = s.frontier;
+  if (s.frontier > skip_below_) skip_below_ = s.frontier;
+  committed_.erase(committed_.begin(), committed_.lower_bound(next_deliver_));
+  for (auto it = accepted_slots_.begin(); it != accepted_slots_.end();) {
+    if (it->first < next_deliver_) {
+      it = accepted_slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Own pending proposals below the frontier are NOT parked for re-proposal:
+  // unlike a kSlotRevoked bounce (which proves the slot was resolved against
+  // us), the snapshot compacted the per-slot history away — a quorum may
+  // have committed our slot and folded the command into the store, and
+  // re-proposing it would deliver it twice cluster-wide. Dropping is safe
+  // either way: a delivered command already took effect, an undelivered one
+  // died with the crash like any other in-flight request.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it = it->first < next_deliver_ ? pending_.erase(it) : std::next(it);
+  }
+  skip_own_slots_below(next_deliver_);
+  env_.notify_snapshot_install(s.store, s.delivered_count);
+  // Everything newer than the snapshot still has to come the normal way.
+  catchup_needed_ = true;
+  request_catchup();
+  try_deliver();
+}
+
+void Mencius::on_restore(storage::RecoveredState& st) {
+  // Called on a freshly constructed instance, before the node rejoins: no
+  // deliver_ upcalls here — everything in st was delivered by the previous
+  // incarnation and the harness reconciles its mirrors separately.
+  log_ = std::move(st.log);
+  next_deliver_ = st.frontier;
+  skip_below_ = st.frontier;
+  durable_bound_ = st.bound;
+  std::uint64_t max_seen = std::max(st.bound, st.frontier);
+  for (auto& [slot, cmd] : st.accepts) {
+    max_seen = std::max(max_seen, slot + 1);
+    if (owner_of(slot) == env_.id()) {
+      // Our own in-flight proposal: resume coordinating it. on_recover's
+      // barrage re-offers it and acks are recounted from scratch.
+      pending_.emplace(slot,
+                       Pending{std::move(cmd), 1ull << env_.id(), env_.now()});
+    } else {
+      // seen=0 ages the entry past the resync grace sweep: if the owner is
+      // alive it re-confirms (overwriting seen), and if the slot was
+      // resolved during the outage catch-up clears it.
+      accepted_slots_[slot] = Accepted{0, std::move(cmd)};
+    }
+  }
+  // Resume proposing strictly above everything this incarnation may have
+  // touched before the crash.
+  while (next_own_slot_ < max_seen) next_own_slot_ += n_;
+  floor_[env_.id()] = next_own_slot_;
 }
 
 void Mencius::catchup_tick() {

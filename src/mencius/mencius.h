@@ -67,6 +67,8 @@ class Mencius final : public rt::Protocol {
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   void on_catchup_request(NodeId from, net::Decoder& d) override;
   void on_catchup_reply(NodeId from, net::Decoder& d) override;
+  void on_catchup_snapshot(NodeId from, net::Decoder& d) override;
+  void on_restore(storage::RecoveredState& st) override;
   std::string_view name() const override { return "Mencius"; }
 
   // --- introspection -------------------------------------------------------
@@ -147,6 +149,17 @@ class Mencius final : public rt::Protocol {
 
   MenciusConfig cfg_;
   stats::ProtocolStats* stats_;
+  /// Durable storage handle (null without a data dir). All record_* calls
+  /// are gated on it, so durability-off runs take the exact same paths.
+  storage::Durability* dur_ = nullptr;
+  /// Own slots covered per record_bound flush: proposing inside the durable
+  /// lease skips the forced fsync, so only every kBoundLease-th own proposal
+  /// pays it.
+  static constexpr std::uint64_t kBoundLease = 64;
+  /// Exclusive fence below which this node promised (durably) never to
+  /// originate a new proposal — a restarted node must not reuse a slot it
+  /// may already have offered before the crash.
+  std::uint64_t durable_bound_ = 0;
   std::size_t n_;
   std::size_t cq_;
 

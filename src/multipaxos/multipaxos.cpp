@@ -1,14 +1,23 @@
 #include "multipaxos/multipaxos.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
+#include "storage/durability.h"
 
 namespace caesar::mpaxos {
 
 MultiPaxos::MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
                        stats::ProtocolStats* stats)
-    : rt::Protocol(env, std::move(deliver)), cfg_(cfg), stats_(stats) {}
+    : rt::Protocol(env, std::move(deliver)), cfg_(cfg), stats_(stats) {
+  dur_ = env.durability();
+  if (dur_ != nullptr) {
+    dur_->set_stats(stats_);
+    dur_->set_snapshot_hook(
+        [this](std::uint64_t frontier) { log_.compact_through(frontier); });
+  }
+}
 
 void MultiPaxos::start() {
   env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
@@ -28,6 +37,16 @@ void MultiPaxos::propose(rsm::Command cmd) {
 void MultiPaxos::lead(rsm::Command cmd) {
   led_ids_.insert(cmd.id);
   const std::uint64_t index = next_index_++;
+  if (dur_ != nullptr) {
+    // Index-reuse fence: a restarted leader must resume ordering strictly
+    // above anything it may have offered before the crash (same value or
+    // not). Force-flushed, amortized over kBoundLease proposals.
+    if (index >= durable_bound_) {
+      durable_bound_ = index + kBoundLease;
+      dur_->record_bound(durable_bound_);
+    }
+    dur_->record_accept(index, cmd);
+  }
   net::Encoder e = env_.encoder();
   e.put_u64(index);
   cmd.encode(e);
@@ -214,6 +233,15 @@ void MultiPaxos::request_catchup() {
 void MultiPaxos::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
+  if (dur_ != nullptr && frontier < log_.base_index()) {
+    // Requester is behind our compaction horizon — the log prefix it needs
+    // was truncated with the covering snapshot. Serve the store snapshot at
+    // the current frontier (the durability mirror is the delivered state);
+    // it re-asks for the remaining suffix through the chunked path.
+    send_catchup_snapshot(from, dur_->mirror_store(), deliver_next_,
+                          log_.rolling_hash(), dur_->delivered_count());
+    return;
+  }
   // The prefix hash is only meaningful when this node has resolved at least
   // as far as the requester: a lagging responder's log is simply shorter,
   // not divergent. 0 marks "no comparison possible" for the requester.
@@ -277,6 +305,50 @@ void MultiPaxos::on_catchup_reply(NodeId from, net::Decoder& d) {
   try_deliver();
 }
 
+void MultiPaxos::on_catchup_snapshot(NodeId from, net::Decoder& d) {
+  rt::Protocol::CatchupSnapshot s = decode_catchup_snapshot(d);
+  if (!s.valid) {
+    log::error("multipaxos: catch-up snapshot from node ", from,
+               " failed its digest check — dropping");
+    return;
+  }
+  if (s.frontier <= deliver_next_) return;  // raced a chunked catch-up
+  if (dur_ != nullptr) {
+    dur_->install_snapshot(s.store, s.frontier, s.prefix_hash,
+                           s.delivered_count);
+  }
+  log_.set_base(s.frontier, s.prefix_hash);
+  deliver_next_ = s.frontier;
+  committed_.erase(committed_.begin(), committed_.lower_bound(deliver_next_));
+  env_.notify_snapshot_install(s.store, s.delivered_count);
+  resync_ = false;  // no gap left below the installed frontier
+  catchup_needed_ = true;
+  request_catchup();
+  try_deliver();
+}
+
+void MultiPaxos::on_restore(storage::RecoveredState& st) {
+  // Fresh instance, pre-rejoin: rebuild silently (no deliver_ upcalls).
+  log_ = std::move(st.log);
+  deliver_next_ = st.frontier;
+  durable_bound_ = st.bound;
+  if (is_leader()) {
+    std::uint64_t max_seen = std::max(st.bound, st.frontier);
+    for (auto& [index, cmd] : st.accepts) {
+      max_seen = std::max(max_seen, index + 1);
+      led_ids_.insert(cmd.id);
+      pending_.emplace(index, Pending{std::move(cmd), 1ull << env_.id()});
+    }
+    // Re-forward dedup for recently delivered commands: the retained log
+    // suffix stands in for the lost recent-commit ring. (A follower
+    // re-forward older than the compacted prefix would duplicate; the
+    // restart scenarios exercise follower restarts, matching the repo's
+    // no-leader-election scope.)
+    for (const auto& [index, cmd] : log_.entries()) led_ids_.insert(cmd.id);
+    next_index_ = max_seen;
+  }
+}
+
 void MultiPaxos::catchup_tick() {
   env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
   const bool stalled = deliver_next_ == last_deliver_mark_;
@@ -294,11 +366,19 @@ void MultiPaxos::try_deliver() {
   auto it = committed_.find(deliver_next_);
   while (it != committed_.end()) {
     forwarded_.erase(it->second.id);  // our forward completed its round trip
+    if (dur_ != nullptr) {
+      dur_->record_deliver(deliver_next_, deliver_next_ + 1, it->second);
+    }
     log_.append(deliver_next_, it->second);
     deliver_(it->second);
     committed_.erase(it);
     ++deliver_next_;
     it = committed_.find(deliver_next_);
+  }
+  // Covers the grace-backstop watermark jump (the only non-delivery
+  // frontier advance this protocol has).
+  if (dur_ != nullptr && deliver_next_ > dur_->frontier()) {
+    dur_->record_frontier(deliver_next_);
   }
 }
 

@@ -54,6 +54,8 @@ class MultiPaxos final : public rt::Protocol {
   void on_node_recovered(NodeId peer) override;
   void on_catchup_request(NodeId from, net::Decoder& d) override;
   void on_catchup_reply(NodeId from, net::Decoder& d) override;
+  void on_catchup_snapshot(NodeId from, net::Decoder& d) override;
+  void on_restore(storage::RecoveredState& st) override;
   std::string_view name() const override { return "MultiPaxos"; }
 
   bool is_leader() const { return env_.id() == cfg_.leader; }
@@ -84,6 +86,14 @@ class MultiPaxos final : public rt::Protocol {
 
   MultiPaxosConfig cfg_;
   stats::ProtocolStats* stats_;
+  /// Durable storage handle (null without a data dir). Followers persist
+  /// only deliveries (acceptors discard the command; the COMMIT re-carries
+  /// it); the leader additionally persists its in-flight accepts and an
+  /// index-reuse bound.
+  storage::Durability* dur_ = nullptr;
+  /// Indices covered per record_bound flush (see Mencius::kBoundLease).
+  static constexpr std::uint64_t kBoundLease = 64;
+  std::uint64_t durable_bound_ = 0;
 
   // Leader bookkeeping: distinct ackers per in-flight index (a bitmask so
   // duplicate ACCEPTED replies, possible after recovery re-broadcasts,

@@ -52,4 +52,32 @@ bool prefix_consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b,
   return true;
 }
 
+bool suffix_consistent_key_orders(const DeliveryLog& full,
+                                  const DeliveryLog& trimmed,
+                                  std::string* why) {
+  for (const auto& [key, seq_t] : trimmed.per_key()) {
+    const auto& seq_f = full.key_sequence(key);
+    if (seq_t.size() > seq_f.size()) {
+      if (why != nullptr) {
+        *why = "key " + std::to_string(key) + ": trimmed log has " +
+               std::to_string(seq_t.size()) + " deliveries but full log only " +
+               std::to_string(seq_f.size());
+      }
+      return false;
+    }
+    const std::size_t off = seq_f.size() - seq_t.size();
+    for (std::size_t i = 0; i < seq_t.size(); ++i) {
+      if (seq_t[i] != seq_f[off + i]) {
+        if (why != nullptr) {
+          *why = "key " + std::to_string(key) + " suffix diverges at position " +
+                 std::to_string(i) + ": " + cmd_id_str(seq_t[i]) + " vs " +
+                 cmd_id_str(seq_f[off + i]);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace caesar::rsm

@@ -7,6 +7,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rsm/command.h"
@@ -19,6 +20,33 @@ class DeliveryLog {
     sequence_.push_back(cmd.id);
     for (const Op& op : cmd.ops) per_key_[op.key].push_back(cmd.id);
   }
+
+  /// Drops every record after the first `n` deliveries. Models a restart
+  /// from disk: the node's observable history shrinks back to the durable
+  /// prefix, and re-deliveries after replay re-record from there.
+  void truncate(std::size_t n) {
+    if (n >= sequence_.size()) return;
+    std::unordered_set<CmdId> dropped(sequence_.begin() +
+                                          static_cast<std::ptrdiff_t>(n),
+                                      sequence_.end());
+    sequence_.resize(n);
+    for (auto it = per_key_.begin(); it != per_key_.end();) {
+      auto& v = it->second;
+      while (!v.empty() && dropped.count(v.back()) != 0) v.pop_back();
+      it = v.empty() ? per_key_.erase(it) : std::next(it);
+    }
+  }
+
+  /// Clears the log and marks it trimmed: this node installed a store
+  /// snapshot, so its recorded history starts mid-stream. The consistency
+  /// oracle switches from prefix to suffix semantics for trimmed logs.
+  void reset_trimmed() {
+    sequence_.clear();
+    per_key_.clear();
+    trimmed_ = true;
+  }
+
+  bool trimmed() const { return trimmed_; }
 
   /// Full delivery order on this node.
   const std::vector<CmdId>& sequence() const { return sequence_; }
@@ -39,6 +67,7 @@ class DeliveryLog {
  private:
   std::vector<CmdId> sequence_;
   std::unordered_map<Key, std::vector<CmdId>> per_key_;
+  bool trimmed_ = false;
 };
 
 /// Returns true if `a` is order-consistent with `b` for every key: the common
@@ -53,6 +82,15 @@ bool consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b);
 /// see. On failure fills `why` (when non-null) with the first offending key
 /// and position.
 bool prefix_consistent_key_orders(const DeliveryLog& a, const DeliveryLog& b,
+                                  std::string* why = nullptr);
+
+/// Oracle for trimmed logs (see DeliveryLog::reset_trimmed): for every key
+/// the trimmed log has seen, its per-key sequence must be a contiguous
+/// *suffix* of the full log's — the trimmed node joined mid-stream via a
+/// store snapshot and must have delivered everything after its join point in
+/// the cluster order, with nothing missing from the middle or end.
+bool suffix_consistent_key_orders(const DeliveryLog& full,
+                                  const DeliveryLog& trimmed,
                                   std::string* why = nullptr);
 
 }  // namespace caesar::rsm

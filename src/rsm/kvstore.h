@@ -28,6 +28,22 @@ class KvStore {
     ++applied_commands_;
   }
 
+  /// Writes one entry verbatim (value and version), bypassing apply()'s
+  /// version bump. Snapshot installation: rebuilds a store from serialized
+  /// (key, value, version) triples so the digest matches the source store.
+  void install(Key k, std::uint64_t value, std::uint64_t version) {
+    map_[k] = Entry{value, version};
+  }
+
+  /// Resets to an empty store; pair with install() + set_applied_commands()
+  /// when replacing contents wholesale from a snapshot.
+  void clear() {
+    map_.clear();
+    applied_commands_ = 0;
+  }
+
+  void set_applied_commands(std::uint64_t n) { applied_commands_ = n; }
+
   std::optional<Entry> get(Key k) const {
     auto it = map_.find(k);
     if (it == map_.end()) return std::nullopt;

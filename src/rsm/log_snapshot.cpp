@@ -50,12 +50,38 @@ const Command* CommandLog::find(std::uint64_t index) const {
 }
 
 std::uint64_t CommandLog::hash_below(std::uint64_t index) const {
-  std::uint64_t h = kSeed;
+  // Prefixes inside the compacted region are unreconstructable; responders
+  // check base_index() and serve a snapshot instead of calling this with
+  // index < base_index(). At exactly the base the answer is the base hash.
+  std::uint64_t h = base_hash_;
   for (const auto& [i, cmd] : entries_) {
     if (i >= index) break;
     h = mix(h, i, cmd.id);
   }
   return h;
+}
+
+void CommandLog::compact_through(std::uint64_t index) {
+  if (index <= base_index_) return;
+  auto it = lower_bound_index(entries_, index);
+  std::uint64_t h = base_hash_;
+  for (auto p = entries_.begin(); p != it; ++p) {
+    h = mix(h, p->first, p->second.id);
+  }
+  entries_.erase(entries_.begin(), it);
+  base_index_ = index;
+  base_hash_ = h;
+}
+
+void CommandLog::set_base(std::uint64_t index, std::uint64_t hash) {
+  auto it = lower_bound_index(entries_, index);
+  entries_.erase(entries_.begin(), it);
+  base_index_ = index;
+  base_hash_ = hash;
+  // The retained suffix (if any) still contributes to the rolling hash;
+  // recompute it on top of the new base.
+  hash_ = hash;
+  for (const auto& [i, cmd] : entries_) hash_ = mix(hash_, i, cmd.id);
 }
 
 LogSnapshot CommandLog::suffix(std::uint64_t from, std::uint64_t frontier,

@@ -49,14 +49,30 @@ struct LogSnapshot {
 /// (suffix extraction) and revocation queries (point lookup of a delivered
 /// slot). Indices are appended in strictly increasing order — delivery order
 /// *is* index order for the protocols that use this — so lookups are binary
-/// searches. Unbounded for now; snapshot compaction for long logs is a
-/// ROADMAP follow-up.
+/// searches. A snapshot can compact the retained prefix: entries below the
+/// base index are dropped, with the base hash standing in for them so the
+/// rolling hash (and catch-up's divergence tripwire) is unchanged.
 class CommandLog {
  public:
   void append(std::uint64_t index, Command cmd) {
     hash_ = mix(hash_, index, cmd.id);
     entries_.emplace_back(index, std::move(cmd));
   }
+
+  /// Drops retained entries with index < `index` once a durable snapshot
+  /// covers them. The rolling hash is unaffected: the hash of the dropped
+  /// prefix becomes the new base hash.
+  void compact_through(std::uint64_t index);
+
+  /// Re-bases an empty-or-compacted log onto a snapshot: everything below
+  /// `index` is summarized by `hash` (the snapshot's prefix hash). Drops any
+  /// retained entries below the new base.
+  void set_base(std::uint64_t index, std::uint64_t hash);
+
+  /// First index whose command may still be retained; entries below this
+  /// were compacted away (0 = nothing compacted).
+  std::uint64_t base_index() const { return base_index_; }
+  std::uint64_t base_hash() const { return base_hash_; }
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -97,6 +113,10 @@ class CommandLog {
   static constexpr std::uint64_t kSeed = 1469598103934665603ull;  // FNV offset
   std::vector<std::pair<std::uint64_t, Command>> entries_;
   std::uint64_t hash_ = kSeed;
+  /// Compaction horizon: entries below base_index_ were dropped; base_hash_
+  /// is the rolling hash the log had at exactly that prefix.
+  std::uint64_t base_index_ = 0;
+  std::uint64_t base_hash_ = kSeed;
 };
 
 /// Entries per catch-up reply chunk: keeps single messages bounded so a long

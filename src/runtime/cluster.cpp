@@ -7,20 +7,54 @@ namespace caesar::rt {
 Cluster::Cluster(sim::Simulator& sim, const net::Topology& topo,
                  ClusterConfig cfg, const ProtocolFactory& factory,
                  DeliverHook on_deliver)
-    : sim_(sim), net_(sim, topo), cfg_(cfg), on_deliver_(std::move(on_deliver)) {
+    : sim_(sim),
+      net_(sim, topo),
+      cfg_(cfg),
+      on_deliver_(std::move(on_deliver)),
+      factory_(factory) {
   const std::size_t n = topo.size();
   nodes_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim_, net_, i, cfg_.node));
+    if (cfg_.storage.enabled()) {
+      nodes_.back()->enable_durability(
+          cfg_.storage.data_dir + "/node-" + std::to_string(i), cfg_.storage);
+    }
   }
   for (NodeId i = 0; i < n; ++i) {
     Node& node = *nodes_[i];
-    node.set_protocol(factory(node, [this, i](const rsm::Command& cmd) {
+    node.set_protocol(factory_(node, [this, i](const rsm::Command& cmd) {
       if (on_deliver_) on_deliver_(i, cmd);
     }));
   }
   link_fd_.assign(n, std::vector<LinkFd>(n));
   crash_suspects_.assign(n, std::vector<bool>(n, false));
+}
+
+void Cluster::set_snapshot_install_hook(SnapshotInstallHook h) {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->set_snapshot_install_hook(
+        [h, i](const rsm::KvStore& store, std::uint64_t delivered) {
+          h(i, store, delivered);
+        });
+  }
+}
+
+void Cluster::restart(NodeId id) {
+  Node& node = *nodes_[id];
+  if (!node.crashed()) return;
+  // Fresh protocol instance, rebuilt silently from disk before it rejoins;
+  // deliveries flow through the same per-node hook as the original.
+  auto proto = factory_(node, [this, id](const rsm::Command& cmd) {
+    if (on_deliver_) on_deliver_(id, cmd);
+  });
+  if (node.durability() != nullptr) {
+    storage::RecoveredState st = node.durability()->replay();
+    proto->on_restore(st);
+    if (restart_hook_) restart_hook_(id, st);
+  }
+  node.set_protocol(std::move(proto));
+  recover(id);
 }
 
 void Cluster::start() {

@@ -22,6 +22,10 @@ struct ClusterConfig {
   /// cannot tell a partitioned peer from a crashed one); the suspicion is
   /// retracted one detector delay after the link heals.
   bool suspect_partitions = false;
+  /// Durable storage (WAL + snapshots). Off unless data_dir is set; each
+  /// node then persists under <data_dir>/node-<id>/ and restart() can
+  /// rebuild it from disk.
+  storage::StorageConfig storage;
 };
 
 class Cluster {
@@ -51,6 +55,24 @@ class Cluster {
   /// failure-detector delay. No-op if `id` is not crashed.
   void recover(NodeId id);
 
+  /// Restart-from-disk: reinstalls a fresh protocol instance on crashed
+  /// `id`, rebuilt from the node's durable state (snapshot + WAL replay via
+  /// Protocol::on_restore), then rejoins it like recover(). In-memory state
+  /// the WAL had not flushed is gone — the PR-5 catch-up path fetches it
+  /// from live peers. Requires cfg.storage to be enabled.
+  void restart(NodeId id);
+
+  /// Observes every restart's replayed state before the node rejoins —
+  /// the harness re-seeds its per-node mirrors (delivery log, store) here.
+  using RestartHook =
+      std::function<void(NodeId, const storage::RecoveredState&)>;
+  void set_restart_hook(RestartHook h) { restart_hook_ = std::move(h); }
+
+  /// Forwarded from Node: a catch-up snapshot install replaced `id`'s store.
+  using SnapshotInstallHook = std::function<void(
+      NodeId, const rsm::KvStore&, std::uint64_t delivered_count)>;
+  void set_snapshot_install_hook(SnapshotInstallHook h);
+
   /// Cuts (up=false) or restores (up=true) both directions of the a<->b
   /// link — the cluster-level handle fault schedules use for partitions.
   /// With cfg.suspect_partitions, cutting also arms the failure detector:
@@ -79,6 +101,10 @@ class Cluster {
   net::Network net_;
   ClusterConfig cfg_;
   DeliverHook on_deliver_;
+  /// Retained so restart() can build a fresh protocol instance for a node
+  /// coming back from disk.
+  ProtocolFactory factory_;
+  RestartHook restart_hook_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::vector<LinkFd>> link_fd_;
   /// crash_suspects_[peer][subject]: peer's detector currently suspects

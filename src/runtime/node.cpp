@@ -19,6 +19,17 @@ void Node::set_protocol(std::unique_ptr<Protocol> protocol) {
   protocol_ = std::move(protocol);
 }
 
+void Node::enable_durability(const std::string& node_dir,
+                             const storage::StorageConfig& cfg) {
+  durability_ = std::make_unique<storage::Durability>(node_dir, cfg);
+  // Flush timers ride the node's epoch-fenced timer path, so a crash voids
+  // them with everything else; flush CPU cost lands on the current task.
+  durability_->set_scheduler([this](Time delay, std::function<void()> fn) {
+    set_timer(delay, std::move(fn));
+  });
+  durability_->set_cpu_charge([this](Time t) { charge_cpu(t); });
+}
+
 std::shared_ptr<const std::vector<std::byte>> Node::finish_frame(
     std::uint16_t type, net::Encoder body) {
   if (body.has_frame_header()) {
@@ -79,6 +90,8 @@ void Node::on_packet(NodeId from,
             protocol_->on_catchup_request(from, d);
           } else if (type == kCatchupReplyType) {
             protocol_->on_catchup_reply(from, d);
+          } else if (type == kCatchupSnapshotType) {
+            protocol_->on_catchup_snapshot(from, d);
           } else {
             protocol_->on_message(from, type, d);
           }
@@ -169,6 +182,8 @@ void Node::crash() {
   batch_.clear();
   batch_ops_ = 0;
   net_.crash_node(id_);
+  // Power-loss model: whatever the WAL had not flushed is gone.
+  if (durability_) durability_->on_crash();
   log::info("node ", id_, " crashed at t=", sim_.now());
 }
 

@@ -20,6 +20,7 @@
 #include "net/buffer_pool.h"
 #include "net/network.h"
 #include "runtime/protocol.h"
+#include "storage/durability.h"
 
 namespace caesar::rt {
 
@@ -43,6 +44,20 @@ class Node final : public Env {
   /// Installs the protocol; must happen before any traffic.
   void set_protocol(std::unique_ptr<Protocol> protocol);
   Protocol& protocol() { return *protocol_; }
+
+  /// Attaches durable storage rooted at `node_dir` (the node's own
+  /// directory, not the shared data dir). Must precede set_protocol so the
+  /// protocol's constructor can wire its persistence hooks.
+  void enable_durability(const std::string& node_dir,
+                         const storage::StorageConfig& cfg);
+
+  /// Invoked when the protocol installs a peer's store snapshot during
+  /// catch-up (see Env::notify_snapshot_install).
+  using SnapshotInstallHook =
+      std::function<void(const rsm::KvStore&, std::uint64_t delivered_count)>;
+  void set_snapshot_install_hook(SnapshotInstallHook h) {
+    snapshot_install_hook_ = std::move(h);
+  }
 
   /// Client entry point: assigns the command an id and proposes it (possibly
   /// after batching).
@@ -71,6 +86,11 @@ class Node final : public Env {
   Rng& rng() override { return rng_; }
   void charge_cpu(Time extra) override { extra_charge_ += extra; }
   CmdId fresh_cmd_id() override { return make_cmd_id(id_, ++cmd_counter_); }
+  storage::Durability* durability() override { return durability_.get(); }
+  void notify_snapshot_install(const rsm::KvStore& store,
+                               std::uint64_t delivered_count) override {
+    if (snapshot_install_hook_) snapshot_install_hook_(store, delivered_count);
+  }
 
   // --- introspection -------------------------------------------------------
   std::uint64_t messages_handled() const { return messages_handled_; }
@@ -95,6 +115,11 @@ class Node final : public Env {
   /// shared_ptr: in-flight payload deleters must outlive the node.
   std::shared_ptr<net::BufferPool> pool_ = std::make_shared<net::BufferPool>();
   std::unique_ptr<Protocol> protocol_;
+  /// Durable storage; null when the node runs without a data dir. Owned here
+  /// (not by the protocol) so it survives protocol reinstallation across a
+  /// restart-from-disk.
+  std::unique_ptr<storage::Durability> durability_;
+  SnapshotInstallHook snapshot_install_hook_;
   Rng rng_;
   bool crashed_ = false;
   /// Bumped on every crash; fences out timers and CPU-chain continuations

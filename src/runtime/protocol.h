@@ -18,7 +18,13 @@
 #include "common/types.h"
 #include "net/serialization.h"
 #include "rsm/command.h"
+#include "rsm/kvstore.h"
 #include "sim/simulator.h"
+
+namespace caesar::storage {
+class Durability;
+struct RecoveredState;
+}  // namespace caesar::storage
 
 namespace caesar::rt {
 
@@ -28,6 +34,9 @@ namespace caesar::rt {
 /// for rejoin catch-up without burning its private tag range.
 inline constexpr std::uint16_t kCatchupRequestType = 0xFFF0;
 inline constexpr std::uint16_t kCatchupReplyType = 0xFFF1;
+/// Store-snapshot catch-up frame: served when the requester's frontier lies
+/// behind the responder's compaction horizon, ahead of the chunked suffix.
+inline constexpr std::uint16_t kCatchupSnapshotType = 0xFFF2;
 
 /// Services a node runtime provides to its protocol instance.
 class Env {
@@ -67,6 +76,20 @@ class Env {
 
   /// Mints a cluster-unique command id originating at this node.
   virtual CmdId fresh_cmd_id() = 0;
+
+  /// Per-node durable storage, or nullptr when the node runs without a data
+  /// dir (the default — persistence hooks are then no-ops with zero cost).
+  virtual storage::Durability* durability() { return nullptr; }
+
+  /// Tells the runtime's owner (harness/cluster) that this node replaced its
+  /// store wholesale from a peer's snapshot during catch-up, so external
+  /// mirrors of the node's state can re-seed themselves. `delivered_count`
+  /// is the commands folded into the snapshot.
+  virtual void notify_snapshot_install(const rsm::KvStore& store,
+                                       std::uint64_t delivered_count) {
+    (void)store;
+    (void)delivered_count;
+  }
 };
 
 class Protocol {
@@ -119,6 +142,18 @@ class Protocol {
   virtual void on_catchup_request(NodeId from, net::Decoder& d);
   virtual void on_catchup_reply(NodeId from, net::Decoder& d);
 
+  /// Store-snapshot leg of catch-up (kCatchupSnapshotType frames): served by
+  /// a responder whose CommandLog was compacted past the requester's
+  /// frontier. Default: ignored (protocol keeps its full log in memory).
+  virtual void on_catchup_snapshot(NodeId from, net::Decoder& d);
+
+  /// Called on a freshly constructed protocol instance before on_recover()
+  /// when the node restarts from disk: rebuild delivered/acceptor state from
+  /// the replayed RecoveredState *silently* — the deliver callback must NOT
+  /// fire for commands already folded into the recovered store. Default: the
+  /// protocol has no durable state to restore.
+  virtual void on_restore(storage::RecoveredState& st) { (void)st; }
+
   virtual std::string_view name() const = 0;
 
  protected:
@@ -131,6 +166,24 @@ class Protocol {
   /// before shipping the suffix.
   void send_catchup_request(NodeId to, std::uint64_t frontier,
                             std::uint64_t prefix_hash);
+
+  /// Sends the shared snapshot frame (kCatchupSnapshotType): the responder's
+  /// store contents as of `frontier`, with the prefix hash and digest the
+  /// requester verifies before installing.
+  void send_catchup_snapshot(NodeId to, const rsm::KvStore& store,
+                             std::uint64_t frontier, std::uint64_t prefix_hash,
+                             std::uint64_t delivered_count);
+
+  /// Decoded + digest-verified snapshot frame; `valid` is false when the
+  /// transferred contents do not match the carried digest.
+  struct CatchupSnapshot {
+    rsm::KvStore store;
+    std::uint64_t frontier = 0;
+    std::uint64_t prefix_hash = 0;
+    std::uint64_t delivered_count = 0;
+    bool valid = false;
+  };
+  static CatchupSnapshot decode_catchup_snapshot(net::Decoder& d);
 
   Env& env_;
   DeliverFn deliver_;

@@ -27,6 +27,11 @@ struct ProtocolCounters {
   std::uint64_t catchup_chunks = 0;    // reply chunks served by live peers
   std::uint64_t catchup_commands = 0;  // commands applied from replies
   std::uint64_t revocations = 0;       // dead-node revocation decisions
+  // Durable storage subsystem (storage/durability.h).
+  std::uint64_t wal_appends = 0;         // records appended to the WAL
+  std::uint64_t fsyncs = 0;              // group-commit flushes made durable
+  std::uint64_t snapshots = 0;           // store snapshots written
+  std::uint64_t truncated_segments = 0;  // WAL segments deleted by compaction
 
   std::uint64_t decisions() const { return fast_decisions + slow_decisions; }
 
@@ -51,6 +56,10 @@ struct ProtocolCounters {
     catchup_chunks += o.catchup_chunks;
     catchup_commands += o.catchup_commands;
     revocations += o.revocations;
+    wal_appends += o.wal_appends;
+    fsyncs += o.fsyncs;
+    snapshots += o.snapshots;
+    truncated_segments += o.truncated_segments;
     return *this;
   }
 
@@ -68,6 +77,10 @@ struct ProtocolCounters {
     d.catchup_chunks = catchup_chunks - earlier.catchup_chunks;
     d.catchup_commands = catchup_commands - earlier.catchup_commands;
     d.revocations = revocations - earlier.revocations;
+    d.wal_appends = wal_appends - earlier.wal_appends;
+    d.fsyncs = fsyncs - earlier.fsyncs;
+    d.snapshots = snapshots - earlier.snapshots;
+    d.truncated_segments = truncated_segments - earlier.truncated_segments;
     return d;
   }
 
@@ -88,6 +101,12 @@ struct ProtocolStats {
   std::uint64_t catchup_chunks = 0;
   std::uint64_t catchup_commands = 0;
   std::uint64_t revocations = 0;
+
+  // Durable storage activity (storage/durability.h), zero with storage off.
+  std::uint64_t wal_appends = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t truncated_segments = 0;
 
   // CAESAR wait condition (Fig 11b): time proposals spend parked.
   LatencyStats wait_time;
@@ -111,6 +130,10 @@ struct ProtocolStats {
     c.catchup_chunks = catchup_chunks;
     c.catchup_commands = catchup_commands;
     c.revocations = revocations;
+    c.wal_appends = wal_appends;
+    c.fsyncs = fsyncs;
+    c.snapshots = snapshots;
+    c.truncated_segments = truncated_segments;
     return c;
   }
 

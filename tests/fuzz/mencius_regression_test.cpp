@@ -1,0 +1,61 @@
+// Committed repro of a known Mencius divergence found by the fault-schedule
+// fuzzer (fault_fuzz_test.cpp) at seed 277: a transient crash of node 4
+// overlapping two link partitions (3-2 and 2-0). Node 2 spends the crash
+// window cut off from both sides of the cluster while node 4's slots are
+// being revoked, and its post-heal resync can sweep an accept that the
+// revocation round later resurrects on the other nodes — the logs end up
+// order-consistent but not equal.
+//
+// DISABLED_ until the triple-fault resync/revocation interleaving is fixed
+// (ROADMAP item): run it explicitly with
+//   ./caesar_fuzz_tests --gtest_also_run_disabled_tests \
+//       --gtest_filter='*TripleFaultSeed277*'
+// and promote it to an always-on regression once it passes.
+#include <gtest/gtest.h>
+
+#include "harness/consistency_checker.h"
+#include "harness/scenario.h"
+
+namespace caesar::harness {
+namespace {
+
+using caesar::testing::check_cluster_consistency;
+using caesar::testing::ConsistencyOptions;
+
+TEST(MenciusFuzzRegression, DISABLED_TripleFaultSeed277) {
+  // Schedule reproduced verbatim from the fuzzer's repro line:
+  //   protocol=Mencius seed=277 schedule=[ crash(4,1574-1974ms)
+  //   part(3-2,2027-2569ms) part(2-0,1602-1804ms) ]
+  wl::WorkloadConfig w;
+  w.clients_per_site = 4;
+  w.conflict_fraction = 0.15;
+  w.reconnect_delay_us = 400 * kMs;
+  Scenario s = ScenarioBuilder("mencius-seed277")
+                   .protocol(ProtocolKind::kMencius)
+                   .topology(net::Topology::ec2_five_sites())
+                   .workload(w)
+                   .closed_loop(0, 4)
+                   .quiesce(2800 * kMs)
+                   .crash(4, 1574 * kMs)
+                   .recover(4, 1974 * kMs)
+                   .partition(3, 2, 2027 * kMs)
+                   .heal(3, 2, 2569 * kMs)
+                   .partition(2, 0, 1602 * kMs)
+                   .heal(2, 0, 1804 * kMs)
+                   .fd_timeout(300 * kMs)
+                   .duration(5 * kSec)
+                   .warmup(500 * kMs)
+                   .seed(277)
+                   .build();
+  const RunReport r = run_scenario(s);
+
+  EXPECT_TRUE(r.consistent);
+  ConsistencyOptions opt;
+  opt.require_converged_stores = true;
+  opt.require_equal_sequences = true;
+  const auto verdict = check_cluster_consistency(r, opt);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+}  // namespace
+}  // namespace caesar::harness

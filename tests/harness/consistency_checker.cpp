@@ -56,13 +56,32 @@ ConsistencyVerdict check_cluster_consistency(const harness::RunReport& r,
     for (std::size_t y = x + 1; y < live.size(); ++y) {
       const std::size_t i = live[x];
       const std::size_t j = live[y];
+      const rsm::DeliveryLog& li = r.delivery_logs[i];
+      const rsm::DeliveryLog& lj = r.delivery_logs[j];
       std::string why;
-      if (!rsm::prefix_consistent_key_orders(r.delivery_logs[i],
-                                             r.delivery_logs[j], &why)) {
+      // A trimmed log joined mid-stream via a store snapshot: its history
+      // has no common prefix with a full log, so compare the suffix instead
+      // (and fall back to common-relative-order when both are trimmed —
+      // their join points may differ).
+      if (li.trimmed() && lj.trimmed()) {
+        if (!rsm::consistent_key_orders(li, lj)) {
+          return fail("trimmed nodes " + std::to_string(i) + " and " +
+                      std::to_string(j) +
+                      " disagree on their common delivery order");
+        }
+      } else if (li.trimmed() || lj.trimmed()) {
+        const rsm::DeliveryLog& full = li.trimmed() ? lj : li;
+        const rsm::DeliveryLog& trimmed = li.trimmed() ? li : lj;
+        if (!rsm::suffix_consistent_key_orders(full, trimmed, &why)) {
+          return fail("nodes " + std::to_string(i) + " and " +
+                      std::to_string(j) +
+                      " are not suffix-consistent: " + why);
+        }
+      } else if (!rsm::prefix_consistent_key_orders(li, lj, &why)) {
         return fail("nodes " + std::to_string(i) + " and " +
                     std::to_string(j) + " are not prefix-consistent: " + why);
       }
-      if (opt.require_equal_sequences &&
+      if (opt.require_equal_sequences && !li.trimmed() && !lj.trimmed() &&
           r.delivery_logs[i].sequence() != r.delivery_logs[j].sequence()) {
         return fail("nodes " + std::to_string(i) + " and " +
                     std::to_string(j) + " delivered different sequences (" +

@@ -123,6 +123,8 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
       "\"catchup_requests\":0,\"catchup_chunks\":0,"
       "\"catchup_commands\":0,\"revocations\":0,"
+      "\"wal_appends\":0,\"fsyncs\":0,\"snapshots\":0,"
+      "\"truncated_segments\":0,"
       "\"fast_path_fraction\":1},"
       "\"phase_latency_us\":{"
       "\"wait\":{\"count\":2,\"mean\":1000,\"min\":500,\"max\":1500,"
@@ -142,6 +144,8 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"slow_proposals\":0,\"recoveries\":0,\"waits\":0,"
       "\"catchup_requests\":0,\"catchup_chunks\":0,"
       "\"catchup_commands\":0,\"revocations\":0,"
+      "\"wal_appends\":0,\"fsyncs\":0,\"snapshots\":0,"
+      "\"truncated_segments\":0,"
       "\"fast_path_fraction\":1}}],"
       "\"sites\":[{\"name\":\"A\",\"latency_us\":{\"count\":1,\"mean\":1000,"
       "\"min\":1000,\"max\":1000,\"p50\":1000,\"p90\":1000,\"p99\":1000}},"
