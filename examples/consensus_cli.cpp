@@ -21,6 +21,7 @@
 
 #include "harness/report.h"
 #include "harness/scenario.h"
+#include "harness/scenario_file.h"
 
 using namespace caesar;
 
@@ -41,6 +42,9 @@ void usage() {
       "usage: consensus_cli [options]\n"
       "  --scenario=NAME   start from a registered scenario (see\n"
       "                    --list-scenarios); other flags override it\n"
+      "  --scenario-file=F start from a JSON scenario file (see\n"
+      "                    src/harness/scenario_file.h for the schema);\n"
+      "                    other flags override it\n"
       "  --list-scenarios  print the scenario registry and exit\n"
       "  --protocol=NAME   caesar|epaxos|m2paxos|mencius|multipaxos|clockrsm\n"
       "                    (default caesar)\n"
@@ -52,6 +56,8 @@ void usage() {
       "  --leader=SITE     Multi-Paxos leader site index (default 3=Ireland)\n"
       "  --batching        enable request batching\n"
       "  --no-wait         CAESAR ablation: disable the wait condition\n"
+      "  --shards=N        run N consensus groups over a hash-partitioned\n"
+      "                    keyspace (1 = classic single group)\n"
       "  --crash=SITE      crash this site halfway through the run\n"
       "  --data-dir=DIR    enable durable storage (WAL + snapshots) under DIR;\n"
       "                    required by scenarios with power-loss/restart faults\n"
@@ -93,6 +99,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    if (arg.rfind("--scenario-file=", 0) == 0) {
+      try {
+        s = harness::load_scenario_file(
+            arg.substr(std::strlen("--scenario-file=")));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    }
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -105,8 +120,17 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
-    } else if (arg == "--list-scenarios" || value_of("--scenario=")) {
+    } else if (arg == "--list-scenarios" || value_of("--scenario=") ||
+               value_of("--scenario-file=")) {
       // handled in the first pass
+    } else if (auto v = value_of("--shards=")) {
+      s.shards.count = static_cast<std::uint32_t>(std::atoi(v->c_str()));
+      if (s.workload.key_dist.dist == wl::KeyDist::kPaperConflict &&
+          s.shards.count > 1) {
+        // The paper-conflict chooser funnels everything onto key 0; give a
+        // multi-group run a spreadable keyspace instead.
+        s.workload.key_dist.dist = wl::KeyDist::kUniform;
+      }
     } else if (auto v = value_of("--protocol=")) {
       auto kind = parse_protocol(*v);
       if (!kind) {
@@ -179,6 +203,10 @@ int main(int argc, char** argv) {
             << " duration=" << s.duration / kSec << "s seed=" << s.seed
             << (s.node.batching ? " batching" : "")
             << (s.caesar.wait_enabled ? "" : " no-wait");
+  if (s.shards.sharded()) {
+    std::cout << " shards=" << s.shards.count << "("
+              << to_string(s.shards.partition) << ")";
+  }
   if (s.storage.enabled()) {
     std::cout << " data-dir=" << s.storage.data_dir
               << " sync-mode=" << storage::to_string(s.storage.sync_mode);

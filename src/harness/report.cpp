@@ -104,6 +104,26 @@ void print_report(const RunReport& r, std::ostream& os) {
     wins.print(os);
   }
 
+  if (r.sharded()) {
+    os << "\n";
+    Table shards({"group", "routed", "completed", "tput(cmd/s)", "mean(ms)",
+                  "p99(ms)", "msgs", "consistent"});
+    for (const auto& s : r.shards) {
+      shards.add_row(
+          {std::to_string(s.group), std::to_string(s.routed),
+           std::to_string(s.completed), Table::num(s.throughput_tps, 0),
+           Table::ms(s.latency.mean()),
+           Table::ms(static_cast<double>(s.latency.percentile(99))),
+           std::to_string(s.messages), s.consistent ? "yes" : "NO"});
+    }
+    shards.print(os);
+    os << "\nrouter: " << r.shards.size() << " groups, " << r.router.partition
+       << " partition, multi-key=" << r.router.multi_key
+       << "\ncross-shard pins: " << r.router.cross_shard_pins
+       << "  rejects: " << r.router.cross_shard_rejects
+       << "  reroutes: " << r.router.reroutes;
+  }
+
   os << "\nthroughput: " << Table::num(r.throughput_tps, 0) << " cmd/s"
      << "\ncompleted: " << r.completed << " / submitted: " << r.submitted
      << "\nfast decisions: " << r.proto.fast_decisions
@@ -305,7 +325,41 @@ std::string to_json(const RunReport& r) {
   os << "]}";
 
   os << ",\"fd\":{\"suspicions\":" << r.fd_suspicions
-     << ",\"retractions\":" << r.fd_retractions << "}}";
+     << ",\"retractions\":" << r.fd_retractions << "}";
+
+  // Sharded runs append the router counters and the per-group rollups; the
+  // classic single-group document is unchanged (golden tests rely on that).
+  if (r.sharded()) {
+    os << ",\"router\":{\"groups\":" << r.shards.size() << ",\"partition\":\""
+       << json_escape(r.router.partition) << "\",\"multi_key\":\""
+       << json_escape(r.router.multi_key)
+       << "\",\"cross_shard_pins\":" << r.router.cross_shard_pins
+       << ",\"cross_shard_rejects\":" << r.router.cross_shard_rejects
+       << ",\"reroutes\":" << r.router.reroutes << "}";
+    os << ",\"shards\":[";
+    for (std::size_t i = 0; i < r.shards.size(); ++i) {
+      const ShardMetrics& s = r.shards[i];
+      if (i) os << ",";
+      os << "{\"group\":" << s.group << ",\"routed\":" << s.routed
+         << ",\"completed\":" << s.completed
+         << ",\"throughput_tps\":" << json_num(s.throughput_tps)
+         << ",\"messages\":" << s.messages << ",\"bytes\":" << s.bytes
+         << ",\"consistent\":" << (s.consistent ? "true" : "false")
+         << ",\"fd\":{\"suspicions\":" << s.fd_suspicions
+         << ",\"retractions\":" << s.fd_retractions << "},\"latency_us\":";
+      latency_json(os, s.latency);
+      os << ",\"protocol\":";
+      counters_json(os, s.proto.counters());
+      os << ",\"windows\":[";
+      for (std::size_t w = 0; w < s.windows.size(); ++w) {
+        if (w) os << ",";
+        window_json(os, s.windows[w]);
+      }
+      os << "]}";
+    }
+    os << "]";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -61,6 +61,41 @@ struct StatsSample {
   std::uint64_t completed = 0;
 };
 
+/// Router-level counters of a sharded run (see shard::ShardRouter).
+struct RouterStats {
+  std::string partition;  // "hash" | "range"
+  std::string multi_key;  // "pin-first-key" | "reject"
+  std::uint64_t cross_shard_pins = 0;
+  std::uint64_t cross_shard_rejects = 0;
+  std::uint64_t reroutes = 0;
+};
+
+/// Per-group rollup of a sharded run: each consensus group contributes its
+/// own throughput/latency/message costs, protocol counters, metrics windows
+/// and consistency verdict; RunReport's top-level fields carry the
+/// aggregates summed over groups.
+struct ShardMetrics {
+  std::uint32_t group = 0;
+  /// Commands the router sent into this group.
+  std::uint64_t routed = 0;
+  std::uint64_t completed = 0;
+  double throughput_tps = 0.0;
+  stats::LatencyStats latency;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  stats::ProtocolStats proto;
+  std::vector<stats::MetricsWindow> windows;
+  bool consistent = true;
+  std::uint64_t fd_suspicions = 0;
+  std::uint64_t fd_retractions = 0;
+
+  /// Final replica state of this group (see RunReport::delivery_logs);
+  /// consumed by the sharded consistency oracle, never serialized.
+  std::vector<rsm::DeliveryLog> delivery_logs;
+  std::vector<rsm::KvStore> stores;
+  std::vector<bool> crashed_at_end;
+};
+
 struct RunReport {
   std::vector<SiteMetrics> sites;
   stats::LatencyStats total_latency;
@@ -103,6 +138,15 @@ struct RunReport {
   std::vector<rsm::DeliveryLog> delivery_logs;
   std::vector<rsm::KvStore> stores;
   std::vector<bool> crashed_at_end;
+
+  /// Sharded runs only: per-group rollups and router counters. Empty for the
+  /// classic single-group path, whose JSON stays byte-identical. For a
+  /// sharded run the flat delivery_logs/stores above stay empty — final
+  /// state lives per group in `shards` and the sharded oracle consumes it.
+  std::vector<ShardMetrics> shards;
+  RouterStats router;
+
+  bool sharded() const { return !shards.empty(); }
 
   double slow_path_pct() const { return proto.slow_path_fraction() * 100.0; }
 

@@ -8,6 +8,7 @@
 
 #include "rsm/delivery_log.h"
 #include "rsm/kvstore.h"
+#include "shard/sharded_scenario.h"
 
 namespace caesar::harness {
 
@@ -104,6 +105,7 @@ std::string to_string(const FaultEvent& e) {
       os << "Restart{node=" << e.node;
       break;
   }
+  if (e.group != FaultEvent::kAllGroups) os << ", group=" << e.group;
   os << ", at=" << e.at << "us}";
   return os.str();
 }
@@ -164,6 +166,46 @@ ScenarioBuilder& ScenarioBuilder::think_time(Time v) {
   s_.workload.think_us = v;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::key_dist(wl::KeyDistConfig v) {
+  s_.workload.key_dist = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::uniform_keys(std::uint64_t keyspace) {
+  s_.workload.key_dist.dist = wl::KeyDist::kUniform;
+  s_.workload.key_dist.keyspace = keyspace;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::zipfian(double theta, std::uint64_t keyspace) {
+  s_.workload.key_dist.dist = wl::KeyDist::kZipfian;
+  s_.workload.key_dist.zipf_theta = theta;
+  s_.workload.key_dist.keyspace = keyspace;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::hot_key(double hot_fraction,
+                                          std::uint64_t hot_keys,
+                                          std::uint64_t keyspace) {
+  s_.workload.key_dist.dist = wl::KeyDist::kHotKey;
+  s_.workload.key_dist.hot_fraction = hot_fraction;
+  s_.workload.key_dist.hot_keys = hot_keys;
+  s_.workload.key_dist.keyspace = keyspace;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::shards(std::uint32_t count,
+                                         shard::Partition partition) {
+  s_.shards.count = count;
+  s_.shards.partition = partition;
+  // Range partitioning splits the workload's configured keyspace by default.
+  s_.shards.range_keyspace = s_.workload.key_dist.keyspace;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::shard_spec(shard::ShardSpec v) {
+  s_.shards = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::multi_key_policy(shard::MultiKeyPolicy v) {
+  s_.shards.multi_key = v;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::closed_loop(Time at,
                                               std::uint32_t clients_per_site,
                                               Time think_us) {
@@ -208,6 +250,42 @@ ScenarioBuilder& ScenarioBuilder::restart(NodeId node, Time at) {
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::fault(FaultEvent e) {
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::crash_in_group(std::int32_t group,
+                                                 NodeId node, Time at) {
+  FaultEvent e = FaultEvent::Crash(node, at);
+  e.group = group;
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recover_in_group(std::int32_t group,
+                                                   NodeId node, Time at) {
+  FaultEvent e = FaultEvent::Recover(node, at);
+  e.group = group;
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::restart_in_group(std::int32_t group,
+                                                   NodeId node, Time at) {
+  FaultEvent e = FaultEvent::Restart(node, at);
+  e.group = group;
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::partition_in_group(std::int32_t group,
+                                                     NodeId a, NodeId b,
+                                                     Time at) {
+  FaultEvent e = FaultEvent::Partition(a, b, at);
+  e.group = group;
+  s_.faults.push_back(e);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::heal_in_group(std::int32_t group, NodeId a,
+                                                NodeId b, Time at) {
+  FaultEvent e = FaultEvent::Heal(a, b, at);
+  e.group = group;
   s_.faults.push_back(e);
   return *this;
 }
@@ -316,6 +394,33 @@ void validate_scenario(const Scenario& s) {
     fail(s, "workload.conflict_fraction must lie in [0, 1]");
   }
 
+  // Key distribution.
+  const wl::KeyDistConfig& kd = s.workload.key_dist;
+  if (kd.dist != wl::KeyDist::kPaperConflict && kd.keyspace < 2) {
+    fail(s, "workload.key_dist.keyspace must be at least 2");
+  }
+  if (kd.dist == wl::KeyDist::kZipfian &&
+      (kd.zipf_theta <= 0.0 || kd.zipf_theta >= 1.0)) {
+    fail(s, "workload.key_dist.zipf_theta must lie in (0, 1)");
+  }
+  if (kd.dist == wl::KeyDist::kHotKey) {
+    if (kd.hot_fraction < 0.0 || kd.hot_fraction > 1.0) {
+      fail(s, "workload.key_dist.hot_fraction must lie in [0, 1]");
+    }
+    if (kd.hot_keys == 0 || kd.hot_keys >= kd.keyspace) {
+      fail(s, "workload.key_dist.hot_keys must lie in [1, keyspace)");
+    }
+  }
+
+  // Sharding.
+  if (s.shards.count == 0) {
+    fail(s, "shards.count must be at least 1");
+  }
+  if (s.shards.sharded() && s.shards.partition == shard::Partition::kRange &&
+      s.shards.range_keyspace == 0) {
+    fail(s, "shards.range_keyspace must be positive for range partitioning");
+  }
+
   // Protocol knobs that index into the topology.
   if (s.protocol == ProtocolKind::kMultiPaxos) {
     check_node_in_range(s, s.multipaxos.leader, "multipaxos.leader");
@@ -352,6 +457,17 @@ void validate_scenario(const Scenario& s) {
   for (const FaultEvent& e : s.faults) {
     if (e.at < 0 || e.at > s.duration) {
       fail(s, to_string(e) + " is outside the run's [0, duration] window");
+    }
+    if (e.group != FaultEvent::kAllGroups) {
+      if (e.group < 0 ||
+          e.group >= static_cast<std::int32_t>(s.shards.count)) {
+        std::ostringstream os;
+        os << to_string(e) << " targets group " << e.group
+           << " but the scenario has " << s.shards.count
+           << " shard group(s); valid groups are -1 (all) .. "
+           << (s.shards.count - 1);
+        fail(s, os.str());
+      }
     }
     switch (e.kind) {
       case FaultEvent::Kind::kCrash:
@@ -436,48 +552,54 @@ void validate_scenario(const Scenario& s) {
 // Runner
 // ---------------------------------------------------------------------------
 
-namespace {
+namespace detail {
 
 rt::Cluster::ProtocolFactory make_factory(
-    const Scenario& s, std::vector<stats::ProtocolStats>& stats) {
+    const Scenario& s, std::vector<stats::ProtocolStats>& stats,
+    std::size_t offset) {
   switch (s.protocol) {
     case ProtocolKind::kCaesar:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<core::Caesar>(env, std::move(deliver),
-                                              s.caesar, &stats[env.id()]);
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<core::Caesar>(
+            env, std::move(deliver), s.caesar, &stats[offset + env.id()]);
       };
     case ProtocolKind::kEPaxos:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<epaxos::EPaxos>(env, std::move(deliver),
-                                                s.epaxos, &stats[env.id()]);
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<epaxos::EPaxos>(
+            env, std::move(deliver), s.epaxos, &stats[offset + env.id()]);
       };
     case ProtocolKind::kM2Paxos:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<m2paxos::M2Paxos>(env, std::move(deliver),
-                                                  s.m2paxos, &stats[env.id()]);
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<m2paxos::M2Paxos>(
+            env, std::move(deliver), s.m2paxos, &stats[offset + env.id()]);
       };
     case ProtocolKind::kMencius:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
-        return std::make_unique<mencius::Mencius>(env, std::move(deliver),
-                                                  s.mencius, &stats[env.id()]);
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+        return std::make_unique<mencius::Mencius>(
+            env, std::move(deliver), s.mencius, &stats[offset + env.id()]);
       };
     case ProtocolKind::kMultiPaxos:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
         return std::make_unique<mpaxos::MultiPaxos>(
-            env, std::move(deliver), s.multipaxos, &stats[env.id()]);
+            env, std::move(deliver), s.multipaxos, &stats[offset + env.id()]);
       };
     case ProtocolKind::kClockRsm:
-      return [&s, &stats](rt::Env& env, rt::Protocol::DeliverFn deliver) {
+      return [&s, &stats, offset](rt::Env& env, rt::Protocol::DeliverFn deliver) {
         return std::make_unique<clockrsm::ClockRsm>(
-            env, std::move(deliver), s.clockrsm, &stats[env.id()]);
+            env, std::move(deliver), s.clockrsm, &stats[offset + env.id()]);
       };
   }
   throw std::invalid_argument("unknown protocol kind");
 }
 
-stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node) {
+stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node,
+                               std::size_t offset, std::size_t count) {
   stats::ProtocolStats total;
-  for (const auto& s : per_node) {
+  const std::size_t end =
+      count == SIZE_MAX ? per_node.size()
+                        : std::min(per_node.size(), offset + count);
+  for (std::size_t i = offset; i < end; ++i) {
+    const auto& s = per_node[i];
     total.fast_decisions += s.fast_decisions;
     total.slow_decisions += s.slow_decisions;
     total.retries += s.retries;
@@ -501,20 +623,15 @@ stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node
 }
 
 stats::ProtocolCounters aggregate_counters(
-    const std::vector<stats::ProtocolStats>& per_node) {
+    const std::vector<stats::ProtocolStats>& per_node, std::size_t offset,
+    std::size_t count) {
   stats::ProtocolCounters total;
-  for (const auto& s : per_node) total += s.counters();
+  const std::size_t end =
+      count == SIZE_MAX ? per_node.size()
+                        : std::min(per_node.size(), offset + count);
+  for (std::size_t i = offset; i < end; ++i) total += per_node[i].counters();
   return total;
 }
-
-/// One boundary snapshot of the run's monotone counters; adjacent snapshots
-/// subtract into a window's deltas.
-struct BoundarySnap {
-  stats::ProtocolCounters proto;
-  std::uint64_t submitted = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
 
 /// Lays out the report's metrics windows: disjoint half-open slices covering
 /// [warmup, duration). Fixed-width when the scenario asks for it, otherwise
@@ -566,10 +683,29 @@ std::vector<stats::MetricsWindow> plan_windows(const Scenario& s) {
   return windows;
 }
 
+}  // namespace detail
+
+namespace {
+
+using detail::aggregate;
+using detail::aggregate_counters;
+using detail::make_factory;
+using detail::plan_windows;
+
+/// One boundary snapshot of the run's monotone counters; adjacent snapshots
+/// subtract into a window's deltas.
+struct BoundarySnap {
+  stats::ProtocolCounters proto;
+  std::uint64_t submitted = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
 }  // namespace
 
 RunReport run_scenario(const Scenario& s) {
   validate_scenario(s);
+  if (s.shards.sharded()) return shard::run_sharded_scenario(s);
 
   const std::size_t n = s.topology.size();
   sim::Simulator sim(s.seed);
@@ -1027,6 +1163,55 @@ void register_builtins() {
             .duration(12 * kSec)
             .warmup(0)
             .seed(17)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "sharded-saturation",
+      "Multi-group scaling: 4 hash-partitioned consensus groups on a 5-site "
+      "LAN, 100 closed-loop clients/site drawing uniform keys — each group "
+      "orders only its own keyspace slice, so aggregate throughput scales "
+      "with the group count while a single CPU-saturated group cannot",
+      [] {
+        return ScenarioBuilder("sharded-saturation")
+            .protocol(ProtocolKind::kMencius)
+            .topology(net::Topology::lan(5))
+            .clients_per_site(100)
+            .uniform_keys(1ull << 16)
+            .shards(4)
+            .duration(4 * kSec)
+            .warmup(1 * kSec)
+            .seed(41)
+            .build();
+      }});
+
+  register_scenario(ScenarioInfo{
+      "sharded-fault",
+      "Asymmetric fault isolation: 4 groups, group 1's Frankfurt replica "
+      "crashes at t=4s and recovers at t=8s while the other groups' replicas "
+      "at the same site keep running; only group 1's throughput dips, the "
+      "router fails its traffic over, and a quiesce tail lets every group's "
+      "consistency oracle prove convergence",
+      [] {
+        wl::WorkloadConfig w;
+        w.clients_per_site = 40;
+        w.reconnect_delay_us = 500 * kMs;
+        w.key_dist.dist = wl::KeyDist::kUniform;
+        w.key_dist.keyspace = 1ull << 16;
+        return ScenarioBuilder("sharded-fault")
+            .protocol(ProtocolKind::kMencius)
+            .topology(net::Topology::lan(5))
+            .workload(w)
+            .closed_loop(0, 40)
+            .quiesce(10 * kSec)
+            .shards(4)
+            .crash_in_group(1, 2, 4 * kSec)
+            .recover_in_group(1, 2, 8 * kSec)
+            .fd_timeout(500 * kMs)
+            .metrics_window(2 * kSec)
+            .duration(12 * kSec)
+            .warmup(1 * kSec)
+            .seed(43)
             .build();
       }});
 

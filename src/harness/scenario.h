@@ -20,6 +20,7 @@
 // registry so benches, examples and the CLI can select them by name.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,6 +36,8 @@
 #include "multipaxos/multipaxos.h"
 #include "net/topology.h"
 #include "runtime/cluster.h"
+#include "shard/shard_map.h"
+#include "stats/protocol_stats.h"
 #include "workload/client_pool.h"
 
 namespace caesar::harness {
@@ -66,6 +69,13 @@ struct FaultEvent {
   /// Partition/Heal link endpoints.
   NodeId a = kNoNode;
   NodeId b = kNoNode;
+  /// Sharded runs: which consensus group the fault hits. kAllGroups (the
+  /// default, and the only valid value for unsharded scenarios) applies the
+  /// fault to every group at once — the whole machine at that site fails;
+  /// a specific group models an asymmetric fault that leaves the site's
+  /// other group replicas running.
+  static constexpr std::int32_t kAllGroups = -1;
+  std::int32_t group = kAllGroups;
 
   static FaultEvent Crash(NodeId node, Time at);
   static FaultEvent Recover(NodeId node, Time at);
@@ -88,6 +98,10 @@ struct Scenario {
   /// Workload phases in time order; empty = one closed-loop phase at t=0
   /// built from `workload`.
   std::vector<wl::PhaseSpec> phases;
+  /// Keyspace sharding across independent consensus groups. count == 1 (the
+  /// default) runs the classic single-group path unchanged; count > 1 routes
+  /// through shard::ShardRouter and the report carries per-group rollups.
+  shard::ShardSpec shards;
   /// Fault timeline; executed in time order during the run.
   std::vector<FaultEvent> faults;
   rt::NodeConfig node;
@@ -153,6 +167,20 @@ class ScenarioBuilder {
   ScenarioBuilder& clients_per_site(std::uint32_t v);
   ScenarioBuilder& conflicts(double fraction);
   ScenarioBuilder& think_time(Time v);
+  /// Key distribution over a global keyspace (uniform/Zipfian/hot-key);
+  /// the default stays the paper's conflict model.
+  ScenarioBuilder& key_dist(wl::KeyDistConfig v);
+  ScenarioBuilder& uniform_keys(std::uint64_t keyspace);
+  ScenarioBuilder& zipfian(double theta, std::uint64_t keyspace);
+  ScenarioBuilder& hot_key(double hot_fraction, std::uint64_t hot_keys,
+                           std::uint64_t keyspace);
+
+  // Sharding.
+  /// Partitions the keyspace across `count` independent consensus groups.
+  ScenarioBuilder& shards(std::uint32_t count,
+                          shard::Partition partition = shard::Partition::kHash);
+  ScenarioBuilder& shard_spec(shard::ShardSpec v);
+  ScenarioBuilder& multi_key_policy(shard::MultiKeyPolicy v);
   /// Appends a closed-loop phase starting at `at`.
   ScenarioBuilder& closed_loop(Time at, std::uint32_t clients_per_site,
                                Time think_us = 0);
@@ -178,6 +206,15 @@ class ScenarioBuilder {
   /// Restart-from-disk of a crashed node (requires data_dir()).
   ScenarioBuilder& restart(NodeId node, Time at);
   ScenarioBuilder& fault(FaultEvent e);
+  // Group-scoped faults (sharded scenarios only): hit one consensus group's
+  // replica while the site's other groups keep running.
+  ScenarioBuilder& crash_in_group(std::int32_t group, NodeId node, Time at);
+  ScenarioBuilder& recover_in_group(std::int32_t group, NodeId node, Time at);
+  ScenarioBuilder& restart_in_group(std::int32_t group, NodeId node, Time at);
+  ScenarioBuilder& partition_in_group(std::int32_t group, NodeId a, NodeId b,
+                                      Time at);
+  ScenarioBuilder& heal_in_group(std::int32_t group, NodeId a, NodeId b,
+                                 Time at);
 
   // Durable storage. (Qualified types: the `storage` member function hides
   // the namespace for the rest of the class.)
@@ -216,8 +253,37 @@ void validate_scenario(const Scenario& s);
 /// Runs one scenario to completion. Deterministic in s.seed. Validates
 /// first (see validate_scenario). The report carries per-window metrics
 /// (per-phase, or fixed-width via Scenario::metrics_window_us) and run
-/// provenance besides the run-wide aggregates.
+/// provenance besides the run-wide aggregates. A scenario with
+/// shards.count > 1 dispatches to the sharded runner automatically.
 RunReport run_scenario(const Scenario& s);
+
+/// Internals shared between the single-group runner and the sharded one
+/// (shard/sharded_scenario.cpp). Not a stable API.
+namespace detail {
+
+/// Protocol factory for one consensus group; each node's counters land in
+/// stats[offset + node] (the sharded runner packs per-node stats group-major
+/// into one flat vector).
+rt::Cluster::ProtocolFactory make_factory(const Scenario& s,
+                                          std::vector<stats::ProtocolStats>& stats,
+                                          std::size_t offset = 0);
+
+/// Lays out a report's metrics windows: disjoint half-open slices covering
+/// [warmup, duration) — fixed-width when requested, else per-phase, else one
+/// "run" window.
+std::vector<stats::MetricsWindow> plan_windows(const Scenario& s);
+
+/// Sums protocol stats/counters over per_node[offset, offset+count); count
+/// == SIZE_MAX sums to the end (the sharded runner aggregates one group's
+/// slice of the group-major vector).
+stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node,
+                               std::size_t offset = 0,
+                               std::size_t count = SIZE_MAX);
+stats::ProtocolCounters aggregate_counters(
+    const std::vector<stats::ProtocolStats>& per_node, std::size_t offset = 0,
+    std::size_t count = SIZE_MAX);
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Named scenario registry

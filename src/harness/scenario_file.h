@@ -1,0 +1,51 @@
+// Scenario definitions loadable from JSON files.
+//
+// A scenario file is a single JSON object; every field is optional except
+// that the result must pass validate_scenario. Fields mirror the
+// ScenarioBuilder vocabulary, with human units (seconds, milliseconds,
+// percent) where the C++ API uses microseconds and fractions:
+//
+//   {
+//     "name": "my-experiment",
+//     "base": "sharded-saturation",          // start from a registry entry
+//     "protocol": "mencius",                 // caesar|epaxos|m2paxos|mencius|multipaxos|clockrsm
+//     "clients_per_site": 100,
+//     "conflict_pct": 10,
+//     "think_ms": 0,
+//     "duration_s": 12, "warmup_s": 1, "seed": 7,
+//     "shards": {"count": 4, "partition": "hash",
+//                "multi_key": "pin-first-key", "range_keyspace": 65536},
+//     "key_dist": {"dist": "zipfian", "keyspace": 65536, "theta": 0.99,
+//                  "hot_fraction": 0.9, "hot_keys": 8},
+//     "phases": [{"mode": "closed-loop", "at_s": 0, "clients_per_site": 40},
+//                {"mode": "quiesce", "at_s": 10}],
+//     "faults": [{"kind": "crash", "node": 2, "group": 1, "at_s": 4},
+//                {"kind": "recover", "node": 2, "group": 1, "at_s": 8}],
+//     "fd_timeout_ms": 500, "fd_suspect_partitions": false,
+//     "data_dir": "caesar-data/my-experiment", "sync_mode": "batched",
+//     "metrics_window_s": 2, "check_consistency": true,
+//     "multipaxos_leader": 3
+//   }
+//
+// Parsing is strict: unknown keys, wrong types and out-of-range enums throw
+// std::invalid_argument naming the offending field ("faults[1].kind"), so a
+// typo fails the run at load time rather than silently running the default.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "harness/scenario.h"
+
+namespace caesar::harness {
+
+/// Parses a scenario from JSON text. `origin` names the source (file path)
+/// in error messages. The result has been through ScenarioBuilder::build(),
+/// i.e. sorted and validated.
+Scenario scenario_from_json(std::string_view text, std::string_view origin);
+
+/// Reads and parses `path`. Throws std::invalid_argument on parse/validation
+/// errors and std::runtime_error when the file cannot be read.
+Scenario load_scenario_file(const std::string& path);
+
+}  // namespace caesar::harness

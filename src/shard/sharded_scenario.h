@@ -1,0 +1,21 @@
+// Sharded scenario runner: run_scenario's multi-group twin.
+//
+// Instantiates one rt::Cluster per shard group on a shared deterministic
+// clock, a ShardMap/ShardRouter pair in front of the client pool, and rolls
+// the per-group measurements (throughput, latency, message costs, protocol
+// counters, metrics windows, consistency verdicts) up into one RunReport
+// whose top-level fields aggregate over groups and whose `shards[]` section
+// carries the per-group breakdown.
+//
+// harness::run_scenario dispatches here automatically when
+// Scenario::shards.count > 1; call it, not this, unless you are the harness.
+#pragma once
+
+#include "harness/scenario.h"
+
+namespace caesar::shard {
+
+/// Precondition: s.shards.sharded(). Deterministic in s.seed.
+harness::RunReport run_sharded_scenario(const harness::Scenario& s);
+
+}  // namespace caesar::shard

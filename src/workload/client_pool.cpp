@@ -15,11 +15,27 @@ ClientPool::ClientPool(sim::Simulator& sim, rt::Cluster& cluster,
                        WorkloadConfig cfg, Rng rng,
                        std::vector<PhaseSpec> phases, Time horizon)
     : sim_(sim),
-      cluster_(cluster),
+      owned_front_(std::make_unique<ClusterFrontend>(cluster)),
+      front_(*owned_front_),
       cfg_(cfg),
       rng_(std::move(rng)),
       phases_(std::move(phases)),
       horizon_(horizon) {
+  init();
+}
+
+ClientPool::ClientPool(sim::Simulator& sim, Frontend& front, WorkloadConfig cfg,
+                       Rng rng, std::vector<PhaseSpec> phases, Time horizon)
+    : sim_(sim),
+      front_(front),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      phases_(std::move(phases)),
+      horizon_(horizon) {
+  init();
+}
+
+void ClientPool::init() {
   if (phases_.empty()) {
     phases_.push_back(
         PhaseSpec::closed_loop(0, cfg_.clients_per_site, cfg_.think_us));
@@ -31,28 +47,34 @@ ClientPool::ClientPool(sim::Simulator& sim, rt::Cluster& cluster,
     }
   }
 
-  const std::size_t sites = cluster_.size();
+  if (cfg_.key_dist.dist == KeyDist::kZipfian) {
+    zipf_ = std::make_shared<const ZipfTable>(cfg_.key_dist.keyspace,
+                                              cfg_.key_dist.zipf_theta);
+  }
+  const std::size_t sites = front_.sites();
   clients_.reserve(sites * max_clients_per_site_);
   std::uint64_t global_id = 0;
   for (NodeId site = 0; site < sites; ++site) {
     for (std::uint32_t i = 0; i < max_clients_per_site_; ++i) {
       clients_.push_back(Client{
           site,
-          KeyChooser(cfg_.conflict_fraction, cfg_.shared_pool_size, global_id),
+          KeyChooser(cfg_.key_dist, cfg_.conflict_fraction,
+                     cfg_.shared_pool_size, global_id, zipf_),
           0});
       ++global_id;
     }
   }
   open_choosers_.reserve(sites);
   for (NodeId site = 0; site < sites; ++site) {
-    open_choosers_.push_back(KeyChooser(
-        cfg_.conflict_fraction, cfg_.shared_pool_size, kOpenChooserBase + site));
+    open_choosers_.push_back(KeyChooser(cfg_.key_dist, cfg_.conflict_fraction,
+                                        cfg_.shared_pool_size,
+                                        kOpenChooserBase + site, zipf_));
   }
 }
 
 std::size_t ClientPool::active_client_count() const {
   return mode_ == PhaseSpec::Mode::kClosedLoop
-             ? cluster_.size() * active_per_site_
+             ? front_.sites() * active_per_site_
              : 0;
 }
 
@@ -62,11 +84,11 @@ bool ClientPool::client_active(std::uint32_t client_idx) const {
 }
 
 NodeId ClientPool::live_site_for(NodeId preferred) const {
-  if (!cluster_.node(preferred).crashed()) return preferred;
-  for (std::size_t step = 1; step < cluster_.size(); ++step) {
+  if (!front_.crashed(preferred)) return preferred;
+  for (std::size_t step = 1; step < front_.sites(); ++step) {
     const NodeId cand =
-        static_cast<NodeId>((preferred + step) % cluster_.size());
-    if (!cluster_.node(cand).crashed()) return cand;
+        static_cast<NodeId>((preferred + step) % front_.sites());
+    if (!front_.crashed(cand)) return cand;
   }
   return kNoNode;
 }
@@ -126,7 +148,7 @@ void ClientPool::enter_phase(const PhaseSpec& phase) {
     } else {
       ramp_begin_ = ramp_end_ = 0;
     }
-    for (NodeId site = 0; site < cluster_.size(); ++site) {
+    for (NodeId site = 0; site < front_.sites(); ++site) {
       schedule_arrival(site, gen_);
     }
   }
@@ -143,8 +165,7 @@ double ClientPool::current_rate() const {
 void ClientPool::submit_next(std::uint32_t client_idx) {
   Client& c = clients_[client_idx];
   if (!client_active(client_idx) || c.pending != 0) return;
-  rt::Node& node = cluster_.node(c.home);
-  if (node.crashed()) return;  // on_node_crashed will reassign us
+  if (front_.crashed(c.home)) return;  // on_node_crashed will reassign us
 
   rsm::Command cmd;
   rsm::Op op;
@@ -153,10 +174,20 @@ void ClientPool::submit_next(std::uint32_t client_idx) {
   op.value = req_counter_;
   cmd.ops.push_back(op);
 
-  c.pending = op.req;
-  pending_[op.req] = Inflight{client_idx, c.home, sim_.now()};
+  const ReqId req = op.req;
+  const NodeId routed = front_.submit(c.home, std::move(cmd));
+  if (routed == kNoNode) {
+    // Dropped (a just-crashed target) or rejected (cross-shard policy): back
+    // off, then try again with a fresh key.
+    const std::uint64_t gen = gen_;
+    sim_.after(cfg_.reconnect_delay_us, [this, client_idx, gen] {
+      if (gen == gen_) submit_next(client_idx);
+    });
+    return;
+  }
+  c.pending = req;
+  pending_[req] = Inflight{client_idx, routed, sim_.now()};
   ++submitted_;
-  node.submit(std::move(cmd));
 }
 
 void ClientPool::schedule_arrival(NodeId site, std::uint64_t gen) {
@@ -165,7 +196,7 @@ void ClientPool::schedule_arrival(NodeId site, std::uint64_t gen) {
   // closely as long as the rate moves little within one inter-arrival gap.
   const double rate = current_rate();
   if (rate <= 0.0) return;
-  const double mean_us = static_cast<double>(cluster_.size()) *
+  const double mean_us = static_cast<double>(front_.sites()) *
                          static_cast<double>(kSec) / rate;
   const Time delay =
       std::max<Time>(1, static_cast<Time>(std::llround(rng_.exponential(mean_us))));
@@ -187,16 +218,21 @@ void ClientPool::open_submit(NodeId site) {
   op.value = req_counter_;
   cmd.ops.push_back(op);
 
-  pending_[op.req] = Inflight{kOpenLoopClient, target, sim_.now()};
+  const ReqId req = op.req;
+  const NodeId routed = front_.submit(target, std::move(cmd));
+  if (routed == kNoNode) return;  // open loop never retries; the arrival is lost
+  pending_[req] = Inflight{kOpenLoopClient, routed, sim_.now()};
   ++submitted_;
-  cluster_.node(target).submit(std::move(cmd));
 }
 
 void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
   for (const rsm::Op& op : cmd.ops) {
-    if (req_origin(op.req) != node) continue;  // completes at origin site only
     auto it = pending_.find(op.req);
     if (it == pending_.end()) continue;  // resubmitted elsewhere meanwhile
+    // A request completes when the node it was routed to delivers it (for
+    // the classic frontend that is the origin site; a router may have
+    // diverted it around a group-scoped crash).
+    if (it->second.site != node) continue;
     const Inflight inflight = it->second;
     pending_.erase(it);
     ++completed_;
@@ -220,6 +256,21 @@ void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
   }
 }
 
+void ClientPool::on_request_lost(ReqId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) return;
+  const Inflight inflight = it->second;
+  pending_.erase(it);
+  if (inflight.client == kOpenLoopClient) return;  // open loop never retries
+  Client& c = clients_[inflight.client];
+  if (c.pending == req) c.pending = 0;
+  const std::uint32_t idx = inflight.client;
+  const std::uint64_t gen = gen_;
+  sim_.after(cfg_.reconnect_delay_us, [this, idx, gen] {
+    if (gen == gen_) submit_next(idx);
+  });
+}
+
 void ClientPool::on_node_crashed(NodeId node) {
   // Clients of the crashed site reconnect to the next live site after a
   // timeout (paper Fig 12: "clients from that node timeout and reconnect to
@@ -232,7 +283,7 @@ void ClientPool::on_node_crashed(NodeId node) {
       c.pending = 0;
     }
     const NodeId target = live_site_for(
-        static_cast<NodeId>((node + 1) % cluster_.size()));
+        static_cast<NodeId>((node + 1) % front_.sites()));
     if (target == kNoNode) continue;  // whole cluster down; see on_node_recovered
     c.home = target;
     sim_.after(cfg_.reconnect_delay_us, [this, i] { submit_next(i); });
@@ -252,7 +303,7 @@ void ClientPool::on_node_crashed(NodeId node) {
 void ClientPool::on_node_recovered(NodeId node) {
   for (std::uint32_t i = 0; i < clients_.size(); ++i) {
     Client& c = clients_[i];
-    if (!cluster_.node(c.home).crashed()) continue;  // running normally
+    if (!front_.crashed(c.home)) continue;  // running normally
     c.home = node;
     sim_.after(cfg_.reconnect_delay_us, [this, i] { submit_next(i); });
   }

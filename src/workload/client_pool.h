@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -31,10 +32,51 @@ struct WorkloadConfig {
   std::uint32_t clients_per_site = 10;
   double conflict_fraction = 0.0;
   std::uint64_t shared_pool_size = 100;
+  /// Key distribution: the paper's conflict model by default; uniform,
+  /// Zipfian or hot-key over a global keyspace for shard/skew experiments.
+  KeyDistConfig key_dist;
   /// Optional per-request think time (0 = saturating closed loop).
   Time think_us = 0;
   /// How long a crashed site's clients wait before reconnecting elsewhere.
   Time reconnect_delay_us = 2 * kSec;
+};
+
+/// What the client pool submits into. The single-cluster adapter below is
+/// the classic path; shard::ShardRouter implements the same interface to
+/// route each command to its owning consensus group.
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+  /// Number of client attachment points (sites).
+  virtual std::size_t sites() const = 0;
+  /// True when no replica at `site` can take submissions any more (for a
+  /// sharded frontend: crashed in every group) — clients reconnect elsewhere.
+  virtual bool crashed(NodeId site) const = 0;
+  /// Submits `cmd` on behalf of a client attached to `site`. Returns the
+  /// node the command actually went to — usually `site`, but a routing
+  /// frontend may divert around a group-scoped crash — or kNoNode when the
+  /// command was dropped (target dead) or rejected (cross-shard policy).
+  /// Completion is observed as a delivery at the returned node.
+  virtual NodeId submit(NodeId site, rsm::Command cmd) = 0;
+};
+
+/// Frontend over one rt::Cluster: submit to the site's own replica.
+class ClusterFrontend final : public Frontend {
+ public:
+  explicit ClusterFrontend(rt::Cluster& cluster) : cluster_(cluster) {}
+
+  std::size_t sites() const override { return cluster_.size(); }
+  bool crashed(NodeId site) const override {
+    return cluster_.node(site).crashed();
+  }
+  NodeId submit(NodeId site, rsm::Command cmd) override {
+    if (cluster_.node(site).crashed()) return kNoNode;
+    cluster_.node(site).submit(std::move(cmd));
+    return site;
+  }
+
+ private:
+  rt::Cluster& cluster_;
 };
 
 /// One segment of a phased workload. Phases are applied in order of `at`;
@@ -112,13 +154,26 @@ class ClientPool {
   ClientPool(sim::Simulator& sim, rt::Cluster& cluster, WorkloadConfig cfg,
              Rng rng, std::vector<PhaseSpec> phases = {}, Time horizon = 0);
 
+  /// Same, but submitting through an arbitrary frontend (a shard router).
+  /// `front` must outlive the pool.
+  ClientPool(sim::Simulator& sim, Frontend& front, WorkloadConfig cfg, Rng rng,
+             std::vector<PhaseSpec> phases = {}, Time horizon = 0);
+
   void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
 
   /// Enters the first phase and schedules the later phase switches.
   void start();
 
   /// Must be called from the cluster's delivery hook for every delivery.
+  /// `node` is the delivering replica: a request completes when its routed
+  /// node (the one Frontend::submit returned) delivers it.
   void on_delivery(NodeId node, const rsm::Command& cmd);
+
+  /// A routing frontend reports that an in-flight request died with its
+  /// target (e.g. a group-scoped crash the pool cannot see). The owning
+  /// closed-loop client resubmits after the reconnect delay; an open-loop
+  /// request is simply dropped.
+  void on_request_lost(ReqId req);
 
   /// Reassigns the crashed node's clients to live nodes after the reconnect
   /// delay; their in-flight requests are resubmitted with fresh ids.
@@ -150,6 +205,7 @@ class ClientPool {
     Time submit_time = 0;
   };
 
+  void init();
   bool client_active(std::uint32_t client_idx) const;
   NodeId live_site_for(NodeId preferred) const;
   void enter_phase(const PhaseSpec& phase);
@@ -160,9 +216,14 @@ class ClientPool {
   void open_submit(NodeId site);
 
   sim::Simulator& sim_;
-  rt::Cluster& cluster_;
+  /// Set only by the rt::Cluster convenience constructor; declared before
+  /// front_ so the reference below can bind to it.
+  std::unique_ptr<ClusterFrontend> owned_front_;
+  Frontend& front_;
   WorkloadConfig cfg_;
   Rng rng_;
+  /// Shared Zipf state (kZipfian only): one table for all choosers.
+  std::shared_ptr<const ZipfTable> zipf_;
   CompletionHook hook_;
   std::vector<PhaseSpec> phases_;
   std::vector<Client> clients_;

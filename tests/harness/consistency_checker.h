@@ -1,50 +1,17 @@
-// Cluster-consistency oracle for scenario tests.
-//
-// A run that merely *finishes* proves little: a rejoined replica that
-// silently omitted the slots it missed still passes the weak
-// common-relative-order check, because its log simply lacks the commands.
-// This oracle holds finished runs to the real standard:
-//
-//   * per-key prefix consistency — for every key, live nodes' delivery
-//     sequences must be prefixes of one another (no command missing from the
-//     middle of anyone's history);
-//   * store convergence (optional) — after a quiesce tail, every live
-//     node's kv-store must hold byte-identical contents;
-//   * sequence equality (optional) — total-order protocols, fully quiesced,
-//     must agree on the entire delivery sequence, not just per key.
-//
-// Nodes still crashed when the run ended are excluded: a dead replica
-// legitimately trails the cluster.
+// Compatibility shim: the consistency oracle moved into the library
+// (src/harness/oracle.h) so benches and the CLI can assert it too, not just
+// gtest. Existing tests keep their caesar::testing:: spellings.
 #pragma once
 
-#include <string>
-
-#include "harness/run_report.h"
+#include "harness/oracle.h"
 
 namespace caesar::testing {
 
-struct ConsistencyOptions {
-  /// Require all live stores to hold identical (key -> value, version)
-  /// contents. Valid after a quiesce tail drained in-flight commands;
-  /// protocols without state transfer cannot meet it across crashes.
-  bool require_converged_stores = true;
-  /// Require identical full delivery sequences across live nodes
-  /// (total-order protocols, fully quiesced). When off, only per-key prefix
-  /// consistency is enforced.
-  bool require_equal_sequences = false;
-};
-
-struct ConsistencyVerdict {
-  bool ok = true;
-  /// First violation found, human-readable (names the nodes and key).
-  std::string detail;
-  explicit operator bool() const { return ok; }
-};
-
-/// Runs the oracle over a finished run's final replica state. The scenario
-/// must have kept check_consistency on (the default), or the verdict fails
-/// fast with an explanation.
-ConsistencyVerdict check_cluster_consistency(const harness::RunReport& r,
-                                             ConsistencyOptions opt = {});
+using ConsistencyOptions = caesar::harness::ConsistencyOptions;
+using ConsistencyVerdict = caesar::harness::ConsistencyVerdict;
+using caesar::harness::check_cluster_consistency;
+using caesar::harness::check_replica_set_consistency;
+using caesar::harness::check_sharded_consistency;
+using caesar::harness::reassemble_sharded_store;
 
 }  // namespace caesar::testing

@@ -14,11 +14,17 @@ Understands both JSON formats this repository emits:
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
                         [--fail-on-regression] [--filter SUBSTR]
+                        [--min-ratio R]
 
 A metric regresses when it is worse than the baseline by more than the
-tolerance fraction. The exit code is 0 unless --fail-on-regression is given
-and at least one regression was found (CI runs report-only by default:
-wall-clock numbers from different machines are indicative, not comparable).
+tolerance fraction. With --min-ratio R the bar moves: the candidate must
+IMPROVE on the baseline by at least a factor of R (candidate/baseline for
+higher-is-better metrics, baseline/candidate for lower-is-better), so a
+scaling claim like "4 shards >= 3x the 1-shard throughput" becomes
+`--min-ratio 3.0` over the two runs' JSON. The exit code is 0 unless
+--fail-on-regression is given and at least one regression was found (CI runs
+report-only by default: wall-clock numbers from different machines are
+indicative, not comparable; simulated metrics compare exactly).
 """
 
 from __future__ import annotations
@@ -87,7 +93,16 @@ def main() -> int:
                     help="exit 1 when any metric regresses beyond tolerance")
     ap.add_argument("--filter", default="",
                     help="only compare metrics whose name contains SUBSTR")
+    ap.add_argument("--min-ratio", type=float, default=None,
+                    help="require the candidate to improve on the baseline "
+                         "by at least this factor; metrics below the factor "
+                         "count as regressions (overrides --tolerance)")
     args = ap.parse_args()
+    # The regression bar: goodness >= 1 normally (within tolerance), or the
+    # demanded improvement factor when --min-ratio is given.
+    regress_below = (args.min_ratio if args.min_ratio is not None
+                     else 1.0 - args.tolerance)
+    improve_above = max(1.0 + args.tolerance, regress_below)
 
     base = {m.name: m for m in load_metrics(args.baseline)}
     cand = {m.name: m for m in load_metrics(args.candidate)}
@@ -118,10 +133,10 @@ def main() -> int:
             # Normalize so "worse" is always goodness < 1 - tolerance.
             goodness = ratio if a.higher_is_better else \
                 (1.0 / ratio if ratio != 0 else float("inf"))
-        if goodness < 1.0 - args.tolerance:
+        if goodness < regress_below:
             verdict = "REGRESSION"
             regressions.append(name)
-        elif goodness > 1.0 + args.tolerance:
+        elif goodness > improve_above:
             verdict = "improved"
             improvements.append(name)
         else:
@@ -134,9 +149,10 @@ def main() -> int:
     for name in only_cand:
         print(f"{name:<{width}}  (new in candidate)")
 
+    bar = (f"min ratio {args.min_ratio:g}x" if args.min_ratio is not None
+           else f"tolerance {args.tolerance:.0%}")
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
-          f"{len(regressions)} regressed "
-          f"(tolerance {args.tolerance:.0%})")
+          f"{len(regressions)} regressed ({bar})")
     if regressions:
         print("regressed metrics:")
         for name in regressions:
