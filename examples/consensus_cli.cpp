@@ -54,7 +54,19 @@ void usage() {
       "  --duration=SEC    simulated seconds (default 10)\n"
       "  --seed=N          simulation seed (default 1)\n"
       "  --leader=SITE     Multi-Paxos leader site index (default 3=Ireland)\n"
-      "  --batching        enable request batching\n"
+      "  --batching        enable request batching (accumulate-while-busy)\n"
+      "  --no-batching     disable batching a scenario turned on\n"
+      "  --batch-delay-us=T  max time a command waits in the batcher\n"
+      "  --batch-max-ops=N batch size cap in ops (forces a flush)\n"
+      "  --pipeline=W      open proposals per node before waiting on\n"
+      "                    delivery (default 1 = stop-and-wait)\n"
+      "  --coalescing      merge same-destination frames sent within one\n"
+      "                    CPU turn into a single wire envelope\n"
+      "  --no-coalescing   disable coalescing a scenario turned on\n"
+      "  --max-inflight=N  open-loop flow control: per-site in-flight cap\n"
+      "                    (0 = unlimited)\n"
+      "  --overload-policy=P  what to do over the cap: shed|queue\n"
+      "                    (default queue)\n"
       "  --no-wait         CAESAR ablation: disable the wait condition\n"
       "  --shards=N        run N consensus groups over a hash-partitioned\n"
       "                    keyspace (1 = classic single group)\n"
@@ -155,6 +167,31 @@ int main(int argc, char** argv) {
       s.multipaxos.leader = static_cast<NodeId>(std::atoi(v->c_str()));
     } else if (arg == "--batching") {
       s.node.batching = true;
+    } else if (arg == "--no-batching") {
+      s.node.batching = false;
+    } else if (auto v = value_of("--batch-delay-us=")) {
+      s.node.batch_delay_us = static_cast<Time>(std::atoll(v->c_str()));
+    } else if (auto v = value_of("--batch-max-ops=")) {
+      s.node.batch_max_ops = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (auto v = value_of("--pipeline=")) {
+      s.node.pipeline_window = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--coalescing") {
+      s.node.coalescing = true;
+    } else if (arg == "--no-coalescing") {
+      s.node.coalescing = false;
+    } else if (auto v = value_of("--max-inflight=")) {
+      s.workload.max_inflight =
+          static_cast<std::uint32_t>(std::atoll(v->c_str()));
+    } else if (auto v = value_of("--overload-policy=")) {
+      if (*v == "shed") {
+        s.workload.overload_policy = wl::OverloadPolicy::kShed;
+      } else if (*v == "queue") {
+        s.workload.overload_policy = wl::OverloadPolicy::kQueue;
+      } else {
+        std::cerr << "unknown overload policy: " << *v
+                  << " (expected shed|queue)\n";
+        return 2;
+      }
     } else if (arg == "--no-wait") {
       s.caesar.wait_enabled = false;
     } else if (auto v = value_of("--window=")) {
@@ -202,7 +239,18 @@ int main(int argc, char** argv) {
             << " clients/site=" << s.workload.clients_per_site
             << " duration=" << s.duration / kSec << "s seed=" << s.seed
             << (s.node.batching ? " batching" : "")
+            << (s.node.coalescing ? " coalescing" : "")
             << (s.caesar.wait_enabled ? "" : " no-wait");
+  if (s.node.pipeline_window > 1) {
+    std::cout << " pipeline=" << s.node.pipeline_window;
+  }
+  if (s.workload.max_inflight > 0) {
+    std::cout << " max-inflight=" << s.workload.max_inflight << "("
+              << (s.workload.overload_policy == wl::OverloadPolicy::kShed
+                      ? "shed"
+                      : "queue")
+              << ")";
+  }
   if (s.shards.sharded()) {
     std::cout << " shards=" << s.shards.count << "("
               << to_string(s.shards.partition) << ")";

@@ -46,6 +46,33 @@ constexpr NodeId cmd_origin(CmdId id) { return static_cast<NodeId>(id >> 48); }
 
 constexpr std::uint64_t cmd_seq(CmdId id) { return id & 0xFFFF'FFFF'FFFFull; }
 
+/// Batch composites (runtime-merged groups of client commands) set this bit
+/// inside the 48-bit per-origin sequence field. Ordinary per-origin counters
+/// never reach 2^47, so the bit cleanly separates composite ids from
+/// single-command ids on the wire and in logs.
+inline constexpr std::uint64_t kBatchSeqBit = 1ull << 47;
+/// Low bits of a batch id reserved for addressing the composite's members:
+/// member k of batch B has id B + 1 + k. Every replica derives the same
+/// member ids from the composite alone, so delivery logs agree without any
+/// extra coordination. Batches are capped far below 2^20 ops.
+inline constexpr unsigned kBatchMemberBits = 20;
+
+constexpr CmdId make_batch_cmd_id(NodeId origin, std::uint64_t batch_seq) {
+  return make_cmd_id(origin, kBatchSeqBit | (batch_seq << kBatchMemberBits));
+}
+
+/// True for a composite batch id proper (member ids carry the batch bit too,
+/// but have a nonzero member field).
+constexpr bool is_batch_cmd_id(CmdId id) {
+  return (cmd_seq(id) & kBatchSeqBit) != 0 &&
+         (cmd_seq(id) & ((1ull << kBatchMemberBits) - 1)) == 0;
+}
+
+/// Id of member `k` of the batch composite `batch`.
+constexpr CmdId batch_member_cmd_id(CmdId batch, std::size_t k) {
+  return batch + 1 + static_cast<CmdId>(k);
+}
+
 constexpr ReqId make_req_id(NodeId origin, std::uint64_t seq) {
   return make_cmd_id(origin, seq);
 }

@@ -135,6 +135,11 @@ void print_report(const RunReport& r, std::ostream& os) {
     os << "\nfd suspicions: " << r.fd_suspicions
        << "  retractions: " << r.fd_retractions;
   }
+  if (r.flow_control.enabled) {
+    os << "\nflow control: admitted " << r.flow_control.admitted
+       << "  deferred " << r.flow_control.deferred << "  shed "
+       << r.flow_control.shed;
+  }
   if (r.proto.catchup_requests > 0 || r.proto.revocations > 0) {
     os << "\ncatch-up requests: " << r.proto.catchup_requests
        << "  chunks: " << r.proto.catchup_chunks
@@ -268,7 +273,17 @@ void window_json(std::ostream& os, const stats::MetricsWindow& w) {
   latency_json(os, w.latency);
   os << ",\"protocol\":";
   counters_json(os, w.proto);
-  os << "}";
+  // Per-window slices of the protocol-internal pools, mirroring the run-wide
+  // phase_latency_us block in "totals".
+  os << ",\"phase_latency_us\":{\"wait\":";
+  latency_json(os, w.wait_time, /*extended=*/true);
+  os << ",\"propose\":";
+  latency_json(os, w.propose_phase, /*extended=*/true);
+  os << ",\"retry\":";
+  latency_json(os, w.retry_phase, /*extended=*/true);
+  os << ",\"deliver\":";
+  latency_json(os, w.deliver_phase, /*extended=*/true);
+  os << "}}";
 }
 
 }  // namespace
@@ -326,6 +341,14 @@ std::string to_json(const RunReport& r) {
 
   os << ",\"fd\":{\"suspicions\":" << r.fd_suspicions
      << ",\"retractions\":" << r.fd_retractions << "}";
+
+  // Flow-control counters only appear when the scenario enabled admission
+  // gating; the classic document is unchanged (golden tests rely on that).
+  if (r.flow_control.enabled) {
+    os << ",\"flow_control\":{\"admitted\":" << r.flow_control.admitted
+       << ",\"deferred\":" << r.flow_control.deferred
+       << ",\"shed\":" << r.flow_control.shed << "}";
+  }
 
   // Sharded runs append the router counters and the per-group rollups; the
   // classic single-group document is unchanged (golden tests rely on that).

@@ -96,6 +96,16 @@ struct ShardMetrics {
   std::vector<bool> crashed_at_end;
 };
 
+/// Client-side flow-control counters of the run's open-loop phases; only
+/// populated (and only serialized) when the scenario sets
+/// workload.max_inflight — the classic report stays byte-identical.
+struct FlowControlStats {
+  bool enabled = false;
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t shed = 0;
+};
+
 struct RunReport {
   std::vector<SiteMetrics> sites;
   stats::LatencyStats total_latency;
@@ -145,6 +155,9 @@ struct RunReport {
   /// state lives per group in `shards` and the sharded oracle consumes it.
   std::vector<ShardMetrics> shards;
   RouterStats router;
+
+  /// Open-loop admission counters (see FlowControlStats).
+  FlowControlStats flow_control;
 
   bool sharded() const { return !shards.empty(); }
 

@@ -162,6 +162,19 @@ class ScenarioBuilder {
   ScenarioBuilder& fd_timeout(Time v);
   ScenarioBuilder& fd_suspect_partitions(bool v = true);
 
+  // Saturation machinery: proposal batching, instance pipelining and send
+  // coalescing (rt::NodeConfig knobs), plus open-loop flow control
+  // (wl::WorkloadConfig knobs). All default off/1 — disabled runs are
+  // byte-identical per seed to a tree without these features.
+  ScenarioBuilder& batching(bool v = true);
+  ScenarioBuilder& batch_delay(Time v);
+  ScenarioBuilder& batch_max_ops(std::size_t v);
+  ScenarioBuilder& pipeline_window(std::size_t v);
+  ScenarioBuilder& coalescing(bool v = true);
+  ScenarioBuilder& max_inflight(std::uint32_t v);
+  ScenarioBuilder& overload_policy(wl::OverloadPolicy v);
+  ScenarioBuilder& overload_queue_cap(std::size_t v);
+
   // Workload.
   ScenarioBuilder& workload(wl::WorkloadConfig v);
   ScenarioBuilder& clients_per_site(std::uint32_t v);
@@ -282,6 +295,11 @@ stats::ProtocolStats aggregate(const std::vector<stats::ProtocolStats>& per_node
 stats::ProtocolCounters aggregate_counters(
     const std::vector<stats::ProtocolStats>& per_node, std::size_t offset = 0,
     std::size_t count = SIZE_MAX);
+
+/// Mirrors one protocol-level delivery into a harness log: a batch composite
+/// records as its individual member commands (the same unbundling the
+/// cluster's delivery hook applies), everything else records as-is.
+void record_unbundled(rsm::DeliveryLog& log, const rsm::Command& cmd);
 
 }  // namespace detail
 

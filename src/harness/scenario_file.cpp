@@ -405,6 +405,55 @@ class ScenarioTranslator {
     }
   }
 
+  void apply_node(Scenario& s, const JsonValue& v) const {
+    if (v.kind != JsonValue::Kind::kObject) fail("node", "expected an object");
+    for (const auto& [key, f] : v.object) {
+      const std::string field = "node." + key;
+      if (key == "batching") {
+        s.node.batching = as_bool(f, field);
+      } else if (key == "batch_delay_us") {
+        s.node.batch_delay_us = static_cast<Time>(as_uint(f, field));
+      } else if (key == "batch_delay_ms") {
+        s.node.batch_delay_us = as_millis(f, field);
+      } else if (key == "batch_max_ops") {
+        s.node.batch_max_ops = static_cast<std::size_t>(as_uint(f, field));
+      } else if (key == "pipeline_window") {
+        s.node.pipeline_window = static_cast<std::size_t>(as_uint(f, field));
+      } else if (key == "coalescing") {
+        s.node.coalescing = as_bool(f, field);
+      } else {
+        fail(field, "unknown key");
+      }
+    }
+  }
+
+  void apply_flow_control(Scenario& s, const JsonValue& v) const {
+    if (v.kind != JsonValue::Kind::kObject) {
+      fail("flow_control", "expected an object");
+    }
+    for (const auto& [key, f] : v.object) {
+      const std::string field = "flow_control." + key;
+      if (key == "max_inflight") {
+        s.workload.max_inflight =
+            static_cast<std::uint32_t>(as_uint(f, field));
+      } else if (key == "policy") {
+        const std::string& p = as_string(f, field);
+        if (p == "shed") {
+          s.workload.overload_policy = wl::OverloadPolicy::kShed;
+        } else if (p == "queue") {
+          s.workload.overload_policy = wl::OverloadPolicy::kQueue;
+        } else {
+          fail(field, "expected \"shed\" or \"queue\", got \"" + p + "\"");
+        }
+      } else if (key == "queue_cap") {
+        s.workload.overload_queue_cap =
+            static_cast<std::size_t>(as_uint(f, field));
+      } else {
+        fail(field, "unknown key");
+      }
+    }
+  }
+
   void apply_phase(Scenario& s, const JsonValue& v, std::size_t index) const {
     const std::string prefix = "phases[" + std::to_string(index) + "]";
     if (v.kind != JsonValue::Kind::kObject) fail(prefix, "expected an object");
@@ -563,6 +612,10 @@ class ScenarioTranslator {
       s.check_consistency = as_bool(v, key);
     } else if (key == "multipaxos_leader") {
       s.multipaxos.leader = as_node(v, key);
+    } else if (key == "node") {
+      apply_node(s, v);
+    } else if (key == "flow_control") {
+      apply_flow_control(s, v);
     } else {
       fail(key, "unknown key");
     }

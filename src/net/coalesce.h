@@ -1,0 +1,55 @@
+// Multi-frame message coalescing.
+//
+// When a node's CPU turn produces several messages for the same destination
+// (a broadcast fan-in, an ack plus a piggybacked proposal, ...), the runtime
+// can merge them into one envelope and ship a single network message — one
+// serialization-delay header, one delivery event, one receive-side dispatch
+// task — instead of N. The envelope wire format is
+//
+//   [u16 kCoalescedFrameType] [varint n] n * ([varint len] [len frame bytes])
+//
+// where each sub-frame is a complete finished frame (its own u16 type tag
+// first), so the receiver demuxes with the same dispatch it uses for plain
+// frames. Envelopes never nest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/serialization.h"
+
+namespace caesar::net {
+
+/// Reserved frame type for coalesced envelopes, just below the runtime's
+/// catch-up tag range (0xFFF0..) and outside every protocol's private space.
+inline constexpr std::uint16_t kCoalescedFrameType = 0xFFEF;
+
+/// Appends the envelope body (count + length-prefixed complete frames) to an
+/// encoder whose u16 type slot the caller has already written/reserved.
+inline void encode_coalesced_body(
+    Encoder& e,
+    std::span<const std::shared_ptr<const std::vector<std::byte>>> frames) {
+  e.put_varint(frames.size());
+  for (const auto& f : frames) {
+    e.put_varint(f->size());
+    e.append_raw(*f);
+  }
+}
+
+/// Reads the sub-frame count of an envelope whose type tag has already been
+/// consumed.
+inline std::uint64_t decode_coalesced_count(Decoder& d) {
+  return d.get_varint();
+}
+
+/// Returns the next complete sub-frame as a zero-copy span over the
+/// envelope's bytes.
+inline std::span<const std::byte> decode_coalesced_next(Decoder& d) {
+  const std::uint64_t len = d.get_varint();
+  if (len > d.remaining()) throw DecodeError("coalesced frame truncated");
+  return d.get_span(static_cast<std::size_t>(len));
+}
+
+}  // namespace caesar::net

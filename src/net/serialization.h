@@ -188,6 +188,15 @@ class Decoder {
     return out;
   }
 
+  /// A zero-copy view of the next `n` bytes (e.g. a complete sub-frame of a
+  /// coalesced envelope). The span aliases the decoder's underlying buffer.
+  std::span<const std::byte> get_span(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   bool at_end() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
 

@@ -2,9 +2,14 @@
 //
 // The paper's benchmark issues single-key updates against a replicated
 // key-value store; two commands conflict iff they touch the same key (§VI).
-// A Command carries one Op per client request; runtime-level batching can
-// merge several client requests into one composite Command whose key set is
-// the union of the members'.
+// A Command normally carries one Op per client request. The runtime's
+// accumulate-while-busy batcher (rt::Node) merges the client commands that
+// piled up while the proposer was busy into one composite Command whose key
+// set is the union of the members' and whose id carries the batch marker
+// (common/types.h kBatchSeqBit). Composites go through consensus as a single
+// command; at delivery time every replica unbundles them back into the
+// member commands below, so delivery logs and client completions always see
+// individual client requests.
 #pragma once
 
 #include <algorithm>
@@ -67,5 +72,22 @@ struct Command {
 
   friend bool operator==(const Command&, const Command&) = default;
 };
+
+/// True when `cmd` is a runtime-built batch composite whose ops must be
+/// replayed as individual member commands at delivery time.
+inline bool is_batch_command(const Command& cmd) {
+  return is_batch_cmd_id(cmd.id);
+}
+
+/// Member `k` of a batch composite as a standalone single-op command. The
+/// composite's ops array is built once at the origin and shipped verbatim,
+/// so every replica derives byte-identical members from the composite alone.
+inline Command batch_member(const Command& batch, std::size_t k) {
+  Command m;
+  m.id = batch_member_cmd_id(batch.id, k);
+  m.origin = batch.origin;
+  m.ops = {batch.ops[k]};
+  return m;
+}
 
 }  // namespace caesar::rsm

@@ -24,11 +24,27 @@ Cluster::Cluster(sim::Simulator& sim, const net::Topology& topo,
   for (NodeId i = 0; i < n; ++i) {
     Node& node = *nodes_[i];
     node.set_protocol(factory_(node, [this, i](const rsm::Command& cmd) {
-      if (on_deliver_) on_deliver_(i, cmd);
+      handle_delivery(i, cmd);
     }));
   }
   link_fd_.assign(n, std::vector<LinkFd>(n));
   crash_suspects_.assign(n, std::vector<bool>(n, false));
+}
+
+void Cluster::handle_delivery(NodeId node, const rsm::Command& cmd) {
+  // Pipelining feedback first: the origin's batcher counts its own proposals
+  // back in as they come out of consensus.
+  nodes_[node]->note_delivery(cmd);
+  if (on_deliver_) {
+    if (rsm::is_batch_command(cmd)) {
+      for (std::size_t k = 0; k < cmd.ops.size(); ++k) {
+        on_deliver_(node, rsm::batch_member(cmd, k));
+      }
+    } else {
+      on_deliver_(node, cmd);
+    }
+  }
+  if (instance_hook_) instance_hook_(node);
 }
 
 void Cluster::set_snapshot_install_hook(SnapshotInstallHook h) {
@@ -46,7 +62,7 @@ void Cluster::restart(NodeId id) {
   // Fresh protocol instance, rebuilt silently from disk before it rejoins;
   // deliveries flow through the same per-node hook as the original.
   auto proto = factory_(node, [this, id](const rsm::Command& cmd) {
-    if (on_deliver_) on_deliver_(id, cmd);
+    handle_delivery(id, cmd);
   });
   if (node.durability() != nullptr) {
     storage::RecoveredState st = node.durability()->replay();

@@ -34,7 +34,15 @@ class Cluster {
   using ProtocolFactory =
       std::function<std::unique_ptr<Protocol>(Env&, Protocol::DeliverFn)>;
   /// Observes every delivery (node, command) — metrics, state machine, tests.
+  /// Batch composites are unbundled before this hook fires: observers always
+  /// see individual client commands (rsm::batch_member), never composites.
   using DeliverHook = std::function<void(NodeId, const rsm::Command&)>;
+  /// Observes every protocol-level delivery (one consensus instance — a
+  /// single command or a whole batch composite) after its members went
+  /// through the DeliverHook. Mirrors that track the protocol's own
+  /// delivered-instance count (e.g. the harness's restart bookkeeping) hang
+  /// off this.
+  using InstanceHook = std::function<void(NodeId)>;
 
   Cluster(sim::Simulator& sim, const net::Topology& topo, ClusterConfig cfg,
           const ProtocolFactory& factory, DeliverHook on_deliver);
@@ -73,6 +81,8 @@ class Cluster {
       NodeId, const rsm::KvStore&, std::uint64_t delivered_count)>;
   void set_snapshot_install_hook(SnapshotInstallHook h);
 
+  void set_instance_hook(InstanceHook h) { instance_hook_ = std::move(h); }
+
   /// Cuts (up=false) or restores (up=true) both directions of the a<->b
   /// link — the cluster-level handle fault schedules use for partitions.
   /// With cfg.suspect_partitions, cutting also arms the failure detector:
@@ -93,6 +103,10 @@ class Cluster {
     bool suspected = false;
   };
   LinkFd& link_fd(NodeId a, NodeId b);
+  /// Per-node delivery funnel: feeds the origin's batcher (pipelining
+  /// feedback), unbundles batch composites for the DeliverHook, then fires
+  /// the InstanceHook.
+  void handle_delivery(NodeId node, const rsm::Command& cmd);
   void arm_partition_fd(NodeId a, NodeId b, std::uint64_t epoch);
   void suspect_pair(NodeId a, NodeId b);
   void retract_pair(NodeId a, NodeId b);
@@ -105,6 +119,7 @@ class Cluster {
   /// coming back from disk.
   ProtocolFactory factory_;
   RestartHook restart_hook_;
+  InstanceHook instance_hook_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::vector<LinkFd>> link_fd_;
   /// crash_suspects_[peer][subject]: peer's detector currently suspects

@@ -6,8 +6,14 @@
 //   * models the node's CPU as a serial server: each message/submission has a
 //     service time (base + whatever the handler charges), and a busy node
 //     queues work — this is what makes throughput saturate (paper Figs 8, 9);
-//   * mints command ids for client submissions and optionally batches
-//     submissions within a time window (paper's "network batching");
+//   * mints command ids for client submissions and optionally batches them
+//     with an accumulate-while-busy policy (paper's "network batching"): a
+//     submission flushes to the protocol immediately while the proposer has
+//     capacity, and accumulates into a batch composite while it is busy or
+//     its pipeline window is full — capped by batch_delay_us / batch_max_ops
+//     so batches never wait unboundedly;
+//   * optionally coalesces same-destination frames sent within one CPU turn
+//     into a single multi-frame network message (net/coalesce.h);
 //   * implements crash-stop: a crashed node drops all queued work, timers and
 //     traffic.
 #pragma once
@@ -29,12 +35,28 @@ struct NodeConfig {
   Time base_service_us = 10;
   /// CPU service time for accepting one client submission.
   Time submit_service_us = 3;
-  /// Client-request batching (the paper evaluates with and without).
+  /// Client-request batching (the paper evaluates with and without). The
+  /// batcher accumulates while the CPU is busy or the pipeline window is
+  /// full and flushes the moment either clears; the two knobs below only
+  /// bound the accumulation, they are not a fixed delay.
   bool batching = false;
+  /// Longest a request may sit in the accumulator before the batch is
+  /// force-flushed regardless of CPU or window state.
   Time batch_delay_us = 2000;
+  /// Size cap: a batch reaching this many ops flushes as soon as the
+  /// pipeline window has room. Must be >= 1.
   std::size_t batch_max_ops = 128;
   /// Extra per-op service charged when proposing composite batches.
   Time per_op_service_us = 1;
+  /// Instance pipelining: max batch flushes from this node concurrently in
+  /// flight (proposed but not yet delivered back at the origin) before the
+  /// batcher holds further flushes. Must be >= 1; 1 = one batch per
+  /// consensus round trip, the classic stop-and-wait proposer.
+  std::size_t pipeline_window = 1;
+  /// Merge same-destination frames sent within one CPU turn into a single
+  /// multi-frame message (net/coalesce.h), amortizing per-message network
+  /// overhead and receive-side dispatch.
+  bool coalescing = false;
 };
 
 class Node final : public Env {
@@ -62,6 +84,12 @@ class Node final : public Env {
   /// Client entry point: assigns the command an id and proposes it (possibly
   /// after batching).
   void submit(rsm::Command cmd);
+
+  /// Pipelining feedback from the cluster's delivery funnel: a command was
+  /// delivered on this node. When it is one of this node's own proposals the
+  /// batcher counts the in-flight instance back in and may flush the next
+  /// accumulated batch into the freed window slot.
+  void note_delivery(const rsm::Command& cmd);
 
   /// Crash-stop. Drops queued work, stops timers firing, severs the network.
   void crash();
@@ -101,12 +129,21 @@ class Node final : public Env {
  private:
   void on_packet(NodeId from,
                  std::shared_ptr<const std::vector<std::byte>> bytes);
+  /// Dispatches one decoded frame (type tag already consumed) to the
+  /// protocol or the runtime's reserved catch-up hooks.
+  void dispatch_frame(NodeId from, std::uint16_t type, net::Decoder& d);
   /// Stamps the type tag into the body and wraps it as a pooled payload.
   std::shared_ptr<const std::vector<std::byte>> finish_frame(
       std::uint16_t type, net::Encoder body);
   void enqueue(std::function<void()> fn, Time service);
   void run_next();
   void flush_batch();
+  bool window_has_room() const { return open_batches_ < cfg_.pipeline_window; }
+  /// Coalescing turn bracket: sends inside a turn are staged and merged
+  /// per-destination when the outermost turn ends.
+  void begin_turn();
+  void end_turn();
+  void flush_staged();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -140,6 +177,15 @@ class Node final : public Env {
   std::vector<rsm::Command> batch_;
   std::size_t batch_ops_ = 0;
   sim::EventId batch_timer_ = sim::kNoEvent;
+  /// Batch flushes proposed but not yet seen back through note_delivery;
+  /// bounded by cfg_.pipeline_window (see submit/flush_batch).
+  std::size_t open_batches_ = 0;
+
+  /// Coalescing state: depth of nested CPU turns and the frames staged
+  /// within the current outermost turn, in send order.
+  int turn_depth_ = 0;
+  std::vector<std::pair<NodeId, std::shared_ptr<const std::vector<std::byte>>>>
+      staged_;
 };
 
 }  // namespace caesar::rt

@@ -66,7 +66,7 @@ void Protocol::send_catchup_request(NodeId to, std::uint64_t frontier,
 
 rsm::Command Protocol::make_composite(std::vector<rsm::Command>& cmds) {
   rsm::Command out;
-  out.id = env_.fresh_cmd_id();
+  out.id = env_.fresh_batch_id();
   out.origin = env_.id();
   std::size_t total = 0;
   for (const auto& c : cmds) total += c.ops.size();

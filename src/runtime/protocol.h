@@ -77,6 +77,14 @@ class Env {
   /// Mints a cluster-unique command id originating at this node.
   virtual CmdId fresh_cmd_id() = 0;
 
+  /// Mints the id for a runtime-built batch composite. Batch ids carry the
+  /// marker bit (common/types.h kBatchSeqBit) so delivery-side code can
+  /// recognize composites and unbundle them into member commands with ids
+  /// derived from the composite's (rsm::batch_member).
+  virtual CmdId fresh_batch_id() {
+    return make_batch_cmd_id(id(), ++batch_counter_);
+  }
+
   /// Per-node durable storage, or nullptr when the node runs without a data
   /// dir (the default — persistence hooks are then no-ops with zero cost).
   virtual storage::Durability* durability() { return nullptr; }
@@ -90,6 +98,10 @@ class Env {
     (void)store;
     (void)delivered_count;
   }
+
+ protected:
+  /// Per-origin batch sequence backing the default fresh_batch_id().
+  std::uint64_t batch_counter_ = 0;
 };
 
 class Protocol {

@@ -75,6 +75,12 @@ void ShardedCluster::set_snapshot_install_hook(GroupSnapshotInstallHook h) {
   }
 }
 
+void ShardedCluster::set_instance_hook(GroupInstanceHook h) {
+  for (std::uint32_t g = 0; g < groups(); ++g) {
+    groups_[g]->set_instance_hook([h, g](NodeId node) { h(g, node); });
+  }
+}
+
 std::uint64_t ShardedCluster::fd_suspicions() const {
   std::uint64_t total = 0;
   for (const auto& g : groups_) total += g->fd_suspicions();

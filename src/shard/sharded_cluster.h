@@ -35,6 +35,9 @@ class ShardedCluster {
       std::uint32_t group, NodeId, const storage::RecoveredState&)>;
   using GroupSnapshotInstallHook = std::function<void(
       std::uint32_t group, NodeId, const rsm::KvStore&, std::uint64_t)>;
+  /// Fires once per protocol-level delivery (a batch composite counts once),
+  /// after the delivery hook — see rt::Cluster::set_instance_hook.
+  using GroupInstanceHook = std::function<void(std::uint32_t group, NodeId)>;
 
   /// Every group gets the same topology and config; with durable storage
   /// enabled, each group's data lives under its own group-<g> subdirectory.
@@ -63,6 +66,7 @@ class ShardedCluster {
 
   void set_restart_hook(GroupRestartHook h);
   void set_snapshot_install_hook(GroupSnapshotInstallHook h);
+  void set_instance_hook(GroupInstanceHook h);
 
   /// FD activity summed over all groups.
   std::uint64_t fd_suspicions() const;

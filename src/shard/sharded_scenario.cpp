@@ -28,6 +28,8 @@ struct Snap {
   std::vector<std::uint64_t> grouted;
   std::vector<std::uint64_t> gmessages;
   std::vector<std::uint64_t> gbytes;
+  /// Latency-pool sample counts per flat (group-major) node index.
+  std::vector<stats::ProtocolStats::PoolCounts> pools;
 };
 
 }  // namespace
@@ -69,6 +71,11 @@ RunReport run_sharded_scenario(const Scenario& s) {
       groups, std::vector<rsm::DeliveryLog>(s.check_consistency ? n : 0));
   std::vector<std::vector<rsm::KvStore>> kvs(groups,
                                              std::vector<rsm::KvStore>(n));
+  // Per-replica instance marks translating durable protocol-level delivery
+  // counts into unbundled mirror-log lengths (see run_scenario).
+  std::vector<std::vector<std::vector<std::size_t>>> marks(
+      groups,
+      std::vector<std::vector<std::size_t>>(s.check_consistency ? n : 0));
 
   rt::ClusterConfig ccfg;
   ccfg.node = s.node;
@@ -104,6 +111,12 @@ RunReport run_sharded_scenario(const Scenario& s) {
         }
       });
 
+  if (s.check_consistency) {
+    cluster.set_instance_hook([&](std::uint32_t g, NodeId node) {
+      marks[g][node].push_back(logs[g][node].size());
+    });
+  }
+
   ShardRouter router(cluster, ShardMap(s.shards));
   router_ptr = &router;
 
@@ -118,19 +131,26 @@ RunReport run_sharded_scenario(const Scenario& s) {
     if (s.check_consistency) {
       if (st.trimmed) {
         logs[g][node].reset_trimmed();
+        marks[g][node].assign(st.delivered_count - st.log.entries().size(), 0);
         for (const auto& [index, cmd] : st.log.entries()) {
-          logs[g][node].record(cmd);
+          harness::detail::record_unbundled(logs[g][node], cmd);
+          marks[g][node].push_back(logs[g][node].size());
         }
       } else {
-        logs[g][node].truncate(st.delivered_count);
+        const std::size_t d = st.delivered_count;
+        if (d < marks[g][node].size()) marks[g][node].resize(d);
+        logs[g][node].truncate(d == 0 ? 0 : marks[g][node][d - 1]);
       }
     }
     kvs[g][node] = st.store;
   });
   cluster.set_snapshot_install_hook(
       [&](std::uint32_t g, NodeId node, const rsm::KvStore& store,
-          std::uint64_t) {
-        if (s.check_consistency) logs[g][node].reset_trimmed();
+          std::uint64_t delivered) {
+        if (s.check_consistency) {
+          logs[g][node].reset_trimmed();
+          marks[g][node].assign(delivered, 0);
+        }
         kvs[g][node] = store;
       });
 
@@ -233,6 +253,10 @@ RunReport run_sharded_scenario(const Scenario& s) {
     snap.gbytes.resize(groups);
     snap.messages = 0;
     snap.bytes = 0;
+    snap.pools.resize(result.per_node.size());
+    for (std::size_t i = 0; i < result.per_node.size(); ++i) {
+      snap.pools[i] = result.per_node[i].pool_counts();
+    }
     for (std::uint32_t g = 0; g < groups; ++g) {
       snap.gproto[g] =
           harness::detail::aggregate_counters(result.per_node, g * n, n);
@@ -250,18 +274,32 @@ RunReport run_sharded_scenario(const Scenario& s) {
   sim.run_until(s.duration);
   capture(snaps.back());
 
+  auto merge_pools = [&result](stats::MetricsWindow& w, const Snap& from,
+                               const Snap& to, std::size_t lo, std::size_t hi) {
+    for (std::size_t node = lo; node < hi; ++node) {
+      const auto& f = from.pools[node];
+      const auto& t = to.pools[node];
+      const stats::ProtocolStats& ps = result.per_node[node];
+      w.wait_time.merge_range(ps.wait_time, f.wait, t.wait);
+      w.propose_phase.merge_range(ps.propose_phase, f.propose, t.propose);
+      w.retry_phase.merge_range(ps.retry_phase, f.retry, t.retry);
+      w.deliver_phase.merge_range(ps.deliver_phase, f.deliver, t.deliver);
+    }
+  };
   for (std::size_t i = 0; i < result.windows.size(); ++i) {
     stats::MetricsWindow& w = result.windows[i];
     w.submitted = snaps[i + 1].submitted - snaps[i].submitted;
     w.messages = snaps[i + 1].messages - snaps[i].messages;
     w.bytes = snaps[i + 1].bytes - snaps[i].bytes;
     w.proto = snaps[i + 1].proto - snaps[i].proto;
+    merge_pools(w, snaps[i], snaps[i + 1], 0, result.per_node.size());
     for (std::uint32_t g = 0; g < groups; ++g) {
       stats::MetricsWindow& gw = result.shards[g].windows[i];
       gw.submitted = snaps[i + 1].grouted[g] - snaps[i].grouted[g];
       gw.messages = snaps[i + 1].gmessages[g] - snaps[i].gmessages[g];
       gw.bytes = snaps[i + 1].gbytes[g] - snaps[i].gbytes[g];
       gw.proto = snaps[i + 1].gproto[g] - snaps[i].gproto[g];
+      merge_pools(gw, snaps[i], snaps[i + 1], g * n, g * n + n);
     }
   }
 
@@ -310,6 +348,10 @@ RunReport run_sharded_scenario(const Scenario& s) {
 
   result.fd_suspicions = cluster.fd_suspicions();
   result.fd_retractions = cluster.fd_retractions();
+  result.flow_control.enabled = pool.flow_control_enabled();
+  result.flow_control.admitted = pool.flow_admitted();
+  result.flow_control.deferred = pool.flow_deferred();
+  result.flow_control.shed = pool.flow_shed();
   result.router.cross_shard_pins = router.stats().cross_shard_pins;
   result.router.cross_shard_rejects = router.stats().cross_shard_rejects;
   result.router.reroutes = router.stats().reroutes;

@@ -38,7 +38,7 @@ void Simulator::release_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-EventId Simulator::at(Time t, std::function<void()> fn) {
+EventId Simulator::at(Time t, InlineFn fn) {
   if (t < now_) t = now_;
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
@@ -81,7 +81,7 @@ void Simulator::pop_and_run() {
   const std::uint32_t slot = static_cast<std::uint32_t>(ev.key & kSlotMask);
   // Move the handler out before invoking: the handler may schedule/cancel,
   // and releasing first lets the slot be reused immediately.
-  std::function<void()> fn = std::move(slots_[slot].fn);
+  InlineFn fn = std::move(slots_[slot].fn);
   release_slot(slot);
   --live_;
   now_ = ev.time;

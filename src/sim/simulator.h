@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/inline_fn.h"
 
 namespace caesar::sim {
 
@@ -40,10 +40,10 @@ class Simulator {
   /// Schedules `fn` at absolute time `t` (clamped to now()).
   /// Events at equal times run in schedule order (FIFO), which keeps runs
   /// deterministic.
-  EventId at(Time t, std::function<void()> fn);
+  EventId at(Time t, InlineFn fn);
 
   /// Schedules `fn` `delay` microseconds from now.
-  EventId after(Time delay, std::function<void()> fn) {
+  EventId after(Time delay, InlineFn fn) {
     return at(now_ + delay, std::move(fn));
   }
 
@@ -77,7 +77,7 @@ class Simulator {
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
   struct Slot {
-    std::function<void()> fn;
+    InlineFn fn;
     /// Schedule sequence of the current occupant; 0 when free. Doubles as
     /// the occupancy check for heap entries and outstanding EventIds.
     std::uint64_t seq = 0;

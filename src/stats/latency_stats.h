@@ -54,6 +54,28 @@ class LatencyStats {
     max_ = was_empty ? other.max_ : std::max(max_, other.max_);
   }
 
+  /// Appends other's samples [from, to). Samples are append-only between
+  /// clears, so two count() snapshots of a live pool delimit exactly the
+  /// samples recorded between them — this is how the metrics windows slice
+  /// the protocol-internal pools without copying them per boundary.
+  void merge_range(const LatencyStats& other, std::uint64_t from,
+                   std::uint64_t to) {
+    to = std::min<std::uint64_t>(to, other.samples_.size());
+    if (from >= to) return;
+    const bool was_empty = samples_.empty();
+    Time lo = other.samples_[from];
+    Time hi = lo;
+    for (std::uint64_t i = from; i < to; ++i) {
+      const Time v = other.samples_[i];
+      samples_.push_back(v);
+      sum_ += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    min_ = was_empty ? lo : std::min(min_, lo);
+    max_ = was_empty ? hi : std::max(max_, hi);
+  }
+
   void clear() {
     samples_.clear();
     sorted_.clear();

@@ -40,6 +40,13 @@ struct MetricsWindow {
   /// Aggregate protocol-counter delta across all nodes.
   ProtocolCounters proto;
 
+  /// Per-window slices of the protocol-internal latency pools (paper
+  /// Fig 11): samples recorded inside [begin, end), summed over nodes.
+  LatencyStats wait_time;
+  LatencyStats propose_phase;
+  LatencyStats retry_phase;
+  LatencyStats deliver_phase;
+
   std::uint64_t completed() const { return latency.count(); }
 
   double duration_s() const {

@@ -117,6 +117,21 @@ struct ProtocolStats {
   LatencyStats retry_phase;     // retry sent -> quorum of acks
   LatencyStats deliver_phase;   // stable known -> command delivered locally
 
+  /// Sample counts of the latency pools, snapshottable at window boundaries:
+  /// two snapshots delimit the samples recorded between them (pools are
+  /// append-only during a run), which LatencyStats::merge_range turns into
+  /// per-window phase breakdowns.
+  struct PoolCounts {
+    std::uint64_t wait = 0;
+    std::uint64_t propose = 0;
+    std::uint64_t retry = 0;
+    std::uint64_t deliver = 0;
+  };
+  PoolCounts pool_counts() const {
+    return PoolCounts{wait_time.count(), propose_phase.count(),
+                      retry_phase.count(), deliver_phase.count()};
+  }
+
   /// Snapshot of the plain counters (no latency pools) for window deltas.
   ProtocolCounters counters() const {
     ProtocolCounters c;

@@ -70,6 +70,8 @@ void ClientPool::init() {
                                         cfg_.shared_pool_size,
                                         kOpenChooserBase + site, zipf_));
   }
+  open_inflight_.assign(sites, 0);
+  deferred_.assign(sites, 0);
 }
 
 std::size_t ClientPool::active_client_count() const {
@@ -106,6 +108,9 @@ void ClientPool::start() {
 void ClientPool::enter_phase(const PhaseSpec& phase) {
   ++gen_;
   mode_ = phase.mode;
+  // Deferred arrivals belong to the superseded phase's load; drop them (the
+  // in-flight accounting stays — those requests are still out there).
+  std::fill(deferred_.begin(), deferred_.end(), 0);
   if (phase.mode == PhaseSpec::Mode::kQuiesce) {
     // No new submissions; the generation bump already killed the open-loop
     // arrival chains, and client_active() turning false stops closed-loop
@@ -208,6 +213,23 @@ void ClientPool::schedule_arrival(NodeId site, std::uint64_t gen) {
 }
 
 void ClientPool::open_submit(NodeId site) {
+  if (cfg_.max_inflight > 0 && open_inflight_[site] >= cfg_.max_inflight) {
+    // Admission control: over the in-flight limit, the arrival waits in the
+    // bounded deferred queue or is shed — the system never sees it, which
+    // is what keeps the overload curve from collapsing under queue growth.
+    if (cfg_.overload_policy == OverloadPolicy::kQueue &&
+        deferred_[site] < cfg_.overload_queue_cap) {
+      ++deferred_[site];
+      ++fc_deferred_;
+    } else {
+      ++fc_shed_;
+    }
+    return;
+  }
+  admit_open_submit(site);
+}
+
+void ClientPool::admit_open_submit(NodeId site) {
   const NodeId target = live_site_for(site);
   if (target == kNoNode) return;  // whole cluster down; drop the arrival
 
@@ -221,8 +243,23 @@ void ClientPool::open_submit(NodeId site) {
   const ReqId req = op.req;
   const NodeId routed = front_.submit(target, std::move(cmd));
   if (routed == kNoNode) return;  // open loop never retries; the arrival is lost
-  pending_[req] = Inflight{kOpenLoopClient, routed, sim_.now()};
+  Inflight inflight{kOpenLoopClient, routed, sim_.now(), kNoNode};
+  if (cfg_.max_inflight > 0) {
+    inflight.arrival = site;
+    ++open_inflight_[site];
+    ++fc_admitted_;
+  }
+  pending_[req] = inflight;
   ++submitted_;
+}
+
+void ClientPool::release_open_slot(NodeId site) {
+  if (cfg_.max_inflight == 0 || site == kNoNode) return;
+  if (open_inflight_[site] > 0) --open_inflight_[site];
+  while (deferred_[site] > 0 && open_inflight_[site] < cfg_.max_inflight) {
+    --deferred_[site];
+    admit_open_submit(site);  // re-increments the slot on success
+  }
 }
 
 void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
@@ -239,7 +276,10 @@ void ClientPool::on_delivery(NodeId node, const rsm::Command& cmd) {
     if (hook_) {
       hook_(Completion{op.req, inflight.site, inflight.submit_time, sim_.now()});
     }
-    if (inflight.client == kOpenLoopClient) continue;
+    if (inflight.client == kOpenLoopClient) {
+      release_open_slot(inflight.arrival);
+      continue;
+    }
 
     Client& c = clients_[inflight.client];
     if (c.pending == op.req) c.pending = 0;
@@ -261,7 +301,10 @@ void ClientPool::on_request_lost(ReqId req) {
   if (it == pending_.end()) return;
   const Inflight inflight = it->second;
   pending_.erase(it);
-  if (inflight.client == kOpenLoopClient) return;  // open loop never retries
+  if (inflight.client == kOpenLoopClient) {
+    release_open_slot(inflight.arrival);  // open loop never retries
+    return;
+  }
   Client& c = clients_[inflight.client];
   if (c.pending == req) c.pending = 0;
   const std::uint32_t idx = inflight.client;
@@ -291,13 +334,20 @@ void ClientPool::on_node_crashed(NodeId node) {
   // Open-loop requests routed to the crashed site died with its queue; drop
   // their in-flight records so the map does not grow without bound across
   // repeated faults (open loop never retries — the arrival was lost).
+  std::vector<NodeId> freed_slots;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.client == kOpenLoopClient && it->second.site == node) {
+      if (it->second.arrival != kNoNode) {
+        freed_slots.push_back(it->second.arrival);
+      }
       it = pending_.erase(it);
     } else {
       ++it;
     }
   }
+  // Release after the sweep: draining a deferred arrival inserts into
+  // pending_, which would invalidate the iterator above.
+  for (NodeId site : freed_slots) release_open_slot(site);
 }
 
 void ClientPool::on_node_recovered(NodeId node) {

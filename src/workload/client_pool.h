@@ -28,6 +28,11 @@
 
 namespace caesar::wl {
 
+/// What the pool does with an open-loop arrival over the in-flight limit:
+/// park it in a bounded queue and admit it when a slot frees (overflow still
+/// sheds), or drop it outright.
+enum class OverloadPolicy { kShed, kQueue };
+
 struct WorkloadConfig {
   std::uint32_t clients_per_site = 10;
   double conflict_fraction = 0.0;
@@ -39,6 +44,15 @@ struct WorkloadConfig {
   Time think_us = 0;
   /// How long a crashed site's clients wait before reconnecting elsewhere.
   Time reconnect_delay_us = 2 * kSec;
+  /// Open-loop flow control: at most this many open-loop requests in flight
+  /// per site before new arrivals are deferred or shed (0 = unlimited, the
+  /// classic back-off-free open loop). Closed-loop clients self-limit and
+  /// are never gated.
+  std::uint32_t max_inflight = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kQueue;
+  /// Bound on the per-site deferred-arrival queue (kQueue only); arrivals
+  /// beyond it are shed.
+  std::size_t overload_queue_cap = 1024;
 };
 
 /// What the client pool submits into. The single-cluster adapter below is
@@ -190,6 +204,12 @@ class ClientPool {
   /// Closed-loop clients currently allowed to submit (varies by phase).
   std::size_t active_client_count() const;
 
+  /// Flow-control introspection (all zero when cfg.max_inflight == 0).
+  bool flow_control_enabled() const { return cfg_.max_inflight > 0; }
+  std::uint64_t flow_admitted() const { return fc_admitted_; }
+  std::uint64_t flow_deferred() const { return fc_deferred_; }
+  std::uint64_t flow_shed() const { return fc_shed_; }
+
  private:
   static constexpr std::uint32_t kOpenLoopClient = 0xFFFF'FFFFu;
 
@@ -203,6 +223,10 @@ class ClientPool {
     std::uint32_t client = kOpenLoopClient;
     NodeId site = kNoNode;
     Time submit_time = 0;
+    /// Open-loop only: the arrival site whose flow-control slot this request
+    /// occupies (kNoNode when flow control is off or the entry is
+    /// closed-loop).
+    NodeId arrival = kNoNode;
   };
 
   void init();
@@ -214,6 +238,10 @@ class ClientPool {
   void submit_next(std::uint32_t client_idx);
   void schedule_arrival(NodeId site, std::uint64_t gen);
   void open_submit(NodeId site);
+  /// Builds and submits one open-loop command for `site`, past admission.
+  void admit_open_submit(NodeId site);
+  /// Frees `site`'s flow-control slot and drains its deferred arrivals.
+  void release_open_slot(NodeId site);
 
   sim::Simulator& sim_;
   /// Set only by the rt::Cluster convenience constructor; declared before
@@ -248,6 +276,14 @@ class ClientPool {
   std::uint64_t req_counter_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t submitted_ = 0;
+
+  /// Flow-control state (used only when cfg_.max_inflight > 0): open-loop
+  /// requests in flight and arrivals parked, per arrival site.
+  std::vector<std::uint32_t> open_inflight_;
+  std::vector<std::size_t> deferred_;
+  std::uint64_t fc_admitted_ = 0;
+  std::uint64_t fc_deferred_ = 0;
+  std::uint64_t fc_shed_ = 0;
 };
 
 }  // namespace caesar::wl

@@ -51,6 +51,41 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
             run_to_json(ProtocolKind::kCaesar, 0.5, 2));
 }
 
+std::string saturation_run_to_json(ProtocolKind kind, std::uint64_t seed) {
+  Scenario s = ScenarioBuilder("determinism-batched")
+                   .topology(net::Topology::ec2_five_sites())
+                   .protocol(kind)
+                   .clients_per_site(4)
+                   .conflicts(0.2)
+                   .batching(true)
+                   .batch_delay(500)
+                   .batch_max_ops(64)
+                   .pipeline_window(4)
+                   .coalescing(true)
+                   .duration(1 * kSec)
+                   .warmup(200 * kMs)
+                   .seed(seed)
+                   .build();
+  RunReport r = run_scenario(s);
+  r.provenance.build = "";  // modulo provenance
+  return to_json(r);
+}
+
+TEST(DeterminismTest, SameSeedSameJsonWithBatchingAndPipelining) {
+  // The whole saturation stack — batcher timers, pipeline-window feedback,
+  // composite ids, coalesced envelopes — must stay a pure function of the
+  // seed, and batched delivery must preserve the consistency oracle.
+  for (ProtocolKind kind :
+       {ProtocolKind::kCaesar, ProtocolKind::kEPaxos, ProtocolKind::kMencius,
+        ProtocolKind::kMultiPaxos}) {
+    const std::string a = saturation_run_to_json(kind, 42);
+    const std::string b = saturation_run_to_json(kind, 42);
+    EXPECT_EQ(a, b) << "protocol kind " << static_cast<int>(kind);
+    EXPECT_NE(a.find("\"consistent\":true"), std::string::npos)
+        << "protocol kind " << static_cast<int>(kind);
+  }
+}
+
 std::string recovery_scenario_json(const char* scenario, ProtocolKind kind) {
   Scenario s = make_scenario(scenario);
   s.protocol = kind;

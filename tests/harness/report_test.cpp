@@ -146,7 +146,16 @@ TEST(JsonReportTest, GoldenDocumentIsStable) {
       "\"catchup_commands\":0,\"revocations\":0,"
       "\"wal_appends\":0,\"fsyncs\":0,\"snapshots\":0,"
       "\"truncated_segments\":0,"
-      "\"fast_path_fraction\":1}}],"
+      "\"fast_path_fraction\":1},"
+      "\"phase_latency_us\":{"
+      "\"wait\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0},"
+      "\"propose\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0},"
+      "\"retry\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0},"
+      "\"deliver\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p95\":0,\"p99\":0,\"p999\":0}}}],"
       "\"sites\":[{\"name\":\"A\",\"latency_us\":{\"count\":1,\"mean\":1000,"
       "\"min\":1000,\"max\":1000,\"p50\":1000,\"p90\":1000,\"p99\":1000}},"
       "{\"name\":\"B\",\"latency_us\":{\"count\":1,\"mean\":3000,"

@@ -130,6 +130,44 @@ TEST(ScenarioFileTest, ErrorsNameTheOffendingField) {
             std::string::npos);
 }
 
+TEST(ScenarioFileTest, ParsesSaturationKnobs) {
+  const std::string text = R"({
+    "duration_s": 5, "warmup_s": 1,
+    "node": {"batching": true, "batch_delay_ms": 2, "batch_max_ops": 64,
+             "pipeline_window": 8, "coalescing": true},
+    "flow_control": {"max_inflight": 32, "policy": "shed", "queue_cap": 10}
+  })";
+  const Scenario s = scenario_from_json(text, "test.json");
+  EXPECT_TRUE(s.node.batching);
+  EXPECT_EQ(s.node.batch_delay_us, 2 * kMs);
+  EXPECT_EQ(s.node.batch_max_ops, 64u);
+  EXPECT_EQ(s.node.pipeline_window, 8u);
+  EXPECT_TRUE(s.node.coalescing);
+  EXPECT_EQ(s.workload.max_inflight, 32u);
+  EXPECT_EQ(s.workload.overload_policy, wl::OverloadPolicy::kShed);
+  EXPECT_EQ(s.workload.overload_queue_cap, 10u);
+}
+
+TEST(ScenarioFileTest, SaturationKnobErrorsNameTheField) {
+  EXPECT_NE(parse_error(R"({"node": {"batch_size": 4}})").find("node.batch_size"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"node": {"batching": 3}})").find("node.batching"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"flow_control": {"policy": "drop"}})")
+                .find("flow_control.policy"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"flow_control": {"cap": 1}})")
+                .find("flow_control.cap"),
+            std::string::npos);
+  // Parses fine, but validate_scenario rejects the degenerate knobs.
+  EXPECT_NE(parse_error(R"({"node": {"batch_max_ops": 0}})")
+                .find("batch_max_ops"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"node": {"pipeline_window": 0}})")
+                .find("pipeline_window"),
+            std::string::npos);
+}
+
 TEST(ScenarioFileTest, RejectsMalformedJson) {
   EXPECT_THROW(scenario_from_json("{", "t"), std::invalid_argument);
   EXPECT_THROW(scenario_from_json("{}trailing", "t"), std::invalid_argument);

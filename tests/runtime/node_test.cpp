@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "runtime/cluster.h"
 
@@ -200,20 +201,40 @@ TEST(NodeTest, ChargeCpuExtendsServiceTime) {
             plain.cluster->node(1).cpu_busy_time() + 4 * 5000);
 }
 
-TEST(NodeTest, BatchingCoalescesSubmissions) {
+TEST(NodeTest, BatchingAccumulatesWhileBusyAndUnbundlesOnDelivery) {
   NodeConfig ncfg;
   ncfg.batching = true;
-  ncfg.batch_delay_us = 5000;
+  ncfg.batch_delay_us = 50 * kMs;  // long: flushes below are event-driven
   ncfg.batch_max_ops = 100;
   Fixture f(2, ncfg);
   for (int i = 0; i < 10; ++i)
     f.cluster->node(0).submit(f.one_op_cmd(static_cast<Key>(i)));
   f.sim.run();
   auto& echo = static_cast<EchoProtocol&>(f.cluster->node(0).protocol());
-  ASSERT_EQ(echo.proposed.size(), 1u);  // one composite
-  EXPECT_EQ(echo.proposed[0].ops.size(), 10u);
-  ASSERT_EQ(f.delivered[1].size(), 1u);
-  EXPECT_EQ(f.delivered[1][0].ops.size(), 10u);
+  // Accumulate-while-busy: the first submission finds an idle proposer and
+  // flushes alone; the other nine pile up behind the open instance
+  // (pipeline_window = 1) and flush as one composite once it delivers.
+  ASSERT_EQ(echo.proposed.size(), 2u);
+  EXPECT_EQ(echo.proposed[0].ops.size(), 1u);
+  EXPECT_FALSE(is_batch_cmd_id(echo.proposed[0].id));
+  EXPECT_EQ(echo.proposed[1].ops.size(), 9u);
+  EXPECT_TRUE(is_batch_cmd_id(echo.proposed[1].id));
+  EXPECT_EQ(echo.proposed[1].origin, 0u);
+  // Delivery unbundles the composite: every node sees ten single-op
+  // commands in submission order, with distinct per-member ids.
+  for (NodeId node = 0; node < 2; ++node) {
+    ASSERT_EQ(f.delivered[node].size(), 10u) << "node " << node;
+    std::set<CmdId> ids;
+    for (int i = 0; i < 10; ++i) {
+      const auto& cmd = f.delivered[node][static_cast<std::size_t>(i)];
+      ASSERT_EQ(cmd.ops.size(), 1u);
+      EXPECT_EQ(cmd.ops[0].key, static_cast<Key>(i));
+      EXPECT_EQ(cmd.origin, 0u);
+      EXPECT_FALSE(is_batch_cmd_id(cmd.id));  // members are not batch ids
+      ids.insert(cmd.id);
+    }
+    EXPECT_EQ(ids.size(), 10u);
+  }
 }
 
 TEST(NodeTest, BatchFlushesEarlyWhenFull) {
@@ -221,12 +242,92 @@ TEST(NodeTest, BatchFlushesEarlyWhenFull) {
   ncfg.batching = true;
   ncfg.batch_delay_us = 1 * kSec;  // long window
   ncfg.batch_max_ops = 4;
+  ncfg.pipeline_window = 2;  // room for the size-capped flush while busy
   Fixture f(2, ncfg);
-  for (int i = 0; i < 4; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
-  f.sim.run_until(100 * kMs);  // well before the window closes
+  for (int i = 0; i < 5; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
+  f.sim.run_until(100 * kMs);  // well before the delay timer
   auto& echo = static_cast<EchoProtocol&>(f.cluster->node(0).protocol());
-  ASSERT_EQ(echo.proposed.size(), 1u);
-  EXPECT_EQ(echo.proposed[0].ops.size(), 4u);
+  // First submission flushes alone (idle proposer); the next four hit the
+  // size cap while the CPU is busy and flush immediately as one composite
+  // because the pipeline window still has a slot.
+  ASSERT_EQ(echo.proposed.size(), 2u);
+  EXPECT_EQ(echo.proposed[0].ops.size(), 1u);
+  EXPECT_EQ(echo.proposed[1].ops.size(), 4u);
+}
+
+/// Protocol that swallows proposals: nothing is ever delivered, so
+/// note_delivery never fires and the pipeline window never reopens.
+class SilentProtocol final : public Protocol {
+ public:
+  SilentProtocol(Env& env, DeliverFn deliver)
+      : Protocol(env, std::move(deliver)) {}
+  void propose(rsm::Command cmd) override { proposed.push_back(cmd); }
+  void on_message(NodeId, std::uint16_t, net::Decoder&) override {}
+  std::string_view name() const override { return "Silent"; }
+  std::vector<rsm::Command> proposed;
+};
+
+struct SilentFixture {
+  explicit SilentFixture(NodeConfig node_cfg) : sim(7) {
+    ClusterConfig cfg;
+    cfg.node = node_cfg;
+    cluster = std::make_unique<Cluster>(
+        sim, net::Topology::lan(2), cfg,
+        [](Env& env, Protocol::DeliverFn deliver) {
+          return std::make_unique<SilentProtocol>(env, std::move(deliver));
+        },
+        nullptr);
+  }
+  SilentProtocol& proto(NodeId n) {
+    return static_cast<SilentProtocol&>(cluster->node(n).protocol());
+  }
+  rsm::Command one_op_cmd(Key k) {
+    rsm::Command c;
+    c.ops.push_back(rsm::Op{k, 1, 0});
+    return c;
+  }
+  sim::Simulator sim;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(NodeTest, BatchTimerForceFlushesWhenWindowStaysFull) {
+  NodeConfig ncfg;
+  ncfg.batching = true;
+  ncfg.batch_delay_us = 5 * kMs;
+  ncfg.pipeline_window = 1;
+  SilentFixture f(ncfg);
+  for (int i = 0; i < 3; ++i) f.cluster->node(0).submit(f.one_op_cmd(1));
+  // The first submission flushed alone and its instance never delivers, so
+  // the window stays full; the remaining two sit in the accumulator until
+  // the delay timer force-flushes them regardless of window state.
+  f.sim.run_until(4 * kMs);
+  ASSERT_EQ(f.proto(0).proposed.size(), 1u);
+  f.sim.run_until(10 * kMs);
+  ASSERT_EQ(f.proto(0).proposed.size(), 2u);
+  EXPECT_EQ(f.proto(0).proposed[1].ops.size(), 2u);
+}
+
+TEST(NodeTest, PipelineWindowGatesFlushes) {
+  // Identical submissions; only the pipeline window differs. Stop-and-wait
+  // (window 1) holds the accumulator behind the open instance, while a
+  // wider window lets the batcher flush again as soon as the CPU runs dry.
+  NodeConfig narrow;
+  narrow.batching = true;
+  narrow.batch_delay_us = 1 * kSec;
+  narrow.pipeline_window = 1;
+  NodeConfig wide = narrow;
+  wide.pipeline_window = 3;
+
+  SilentFixture a(narrow), b(wide);
+  for (int i = 0; i < 5; ++i) {
+    a.cluster->node(0).submit(a.one_op_cmd(static_cast<Key>(i)));
+    b.cluster->node(0).submit(b.one_op_cmd(static_cast<Key>(i)));
+  }
+  a.sim.run_until(100 * kMs);
+  b.sim.run_until(100 * kMs);
+  EXPECT_EQ(a.proto(0).proposed.size(), 1u);  // held: window full
+  ASSERT_EQ(b.proto(0).proposed.size(), 2u);  // flushed on CPU-idle
+  EXPECT_EQ(b.proto(0).proposed[1].ops.size(), 4u);
 }
 
 TEST(NodeTest, TimerCancellation) {

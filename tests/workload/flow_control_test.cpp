@@ -1,0 +1,111 @@
+// Flow-control admission tests: bounded open-loop in-flight per site, with
+// over-limit arrivals either shed outright or parked in a bounded queue and
+// admitted as slots free up.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "workload/client_pool.h"
+
+namespace caesar::wl {
+namespace {
+
+/// Frontend that swallows every submission and records it; completions are
+/// driven by the test via ClientPool::on_delivery.
+class RecordingFrontend final : public Frontend {
+ public:
+  std::size_t sites() const override { return 1; }
+  bool crashed(NodeId) const override { return false; }
+  NodeId submit(NodeId site, rsm::Command cmd) override {
+    commands.push_back(std::move(cmd));
+    return site;
+  }
+  std::vector<rsm::Command> commands;
+};
+
+WorkloadConfig base_cfg() {
+  WorkloadConfig cfg;
+  cfg.clients_per_site = 0;
+  return cfg;
+}
+
+TEST(FlowControlTest, ShedPolicyCapsInflightAndDropsTheRest) {
+  sim::Simulator sim(11);
+  RecordingFrontend front;
+  WorkloadConfig cfg = base_cfg();
+  cfg.max_inflight = 2;
+  cfg.overload_policy = OverloadPolicy::kShed;
+  ClientPool pool(sim, front, cfg, sim.rng().fork(),
+                  {PhaseSpec::open_loop(0, 10000.0)}, 100 * kMs);
+  pool.start();
+  sim.run_until(100 * kMs);
+  // Nothing ever completes, so exactly max_inflight arrivals are admitted;
+  // every later arrival is shed, none are queued.
+  EXPECT_EQ(front.commands.size(), 2u);
+  EXPECT_EQ(pool.flow_admitted(), 2u);
+  EXPECT_EQ(pool.flow_deferred(), 0u);
+  EXPECT_GT(pool.flow_shed(), 100u);  // ~1000 arrivals at 10k tps over 100ms
+  EXPECT_EQ(pool.submitted(), 2u);
+}
+
+TEST(FlowControlTest, QueuePolicyParksUpToCapThenSheds) {
+  sim::Simulator sim(11);
+  RecordingFrontend front;
+  WorkloadConfig cfg = base_cfg();
+  cfg.max_inflight = 1;
+  cfg.overload_policy = OverloadPolicy::kQueue;
+  cfg.overload_queue_cap = 3;
+  ClientPool pool(sim, front, cfg, sim.rng().fork(),
+                  {PhaseSpec::open_loop(0, 10000.0)}, 100 * kMs);
+  pool.start();
+  sim.run_until(100 * kMs);
+  ASSERT_EQ(front.commands.size(), 1u);
+  EXPECT_EQ(pool.flow_admitted(), 1u);
+  EXPECT_EQ(pool.flow_deferred(), 3u);  // queue filled to its cap once
+  EXPECT_GT(pool.flow_shed(), 100u);    // overflow beyond the cap is shed
+
+  // Completing the in-flight request frees the slot and drains exactly one
+  // parked arrival into it.
+  pool.on_delivery(0, front.commands[0]);
+  EXPECT_EQ(pool.completed(), 1u);
+  EXPECT_EQ(front.commands.size(), 2u);
+  EXPECT_EQ(pool.flow_admitted(), 2u);
+
+  // The freed queue slot is taken by the next over-limit arrival.
+  sim.run_until(110 * kMs);
+  EXPECT_EQ(pool.flow_deferred(), 4u);
+}
+
+TEST(FlowControlTest, DisabledFlowControlNeverGates) {
+  sim::Simulator sim(11);
+  RecordingFrontend front;
+  WorkloadConfig cfg = base_cfg();  // max_inflight = 0: classic open loop
+  ClientPool pool(sim, front, cfg, sim.rng().fork(),
+                  {PhaseSpec::open_loop(0, 10000.0)}, 100 * kMs);
+  pool.start();
+  sim.run_until(100 * kMs);
+  EXPECT_FALSE(pool.flow_control_enabled());
+  EXPECT_GT(front.commands.size(), 100u);  // unbounded in-flight growth
+  EXPECT_EQ(pool.flow_admitted(), 0u);
+  EXPECT_EQ(pool.flow_deferred(), 0u);
+  EXPECT_EQ(pool.flow_shed(), 0u);
+}
+
+TEST(FlowControlTest, ClosedLoopClientsAreNeverGated) {
+  sim::Simulator sim(11);
+  RecordingFrontend front;
+  WorkloadConfig cfg = base_cfg();
+  cfg.clients_per_site = 4;
+  cfg.max_inflight = 1;  // must not apply to closed-loop clients
+  cfg.overload_policy = OverloadPolicy::kShed;
+  ClientPool pool(sim, front, cfg, sim.rng().fork(), {}, 100 * kMs);
+  pool.start();
+  sim.run_until(1 * kMs);
+  // All four clients submitted their first request despite max_inflight = 1.
+  EXPECT_EQ(front.commands.size(), 4u);
+  EXPECT_EQ(pool.flow_shed(), 0u);
+}
+
+}  // namespace
+}  // namespace caesar::wl
