@@ -17,6 +17,8 @@ ClockRsm::ClockRsm(rt::Env& env, DeliverFn deliver, ClockRsmConfig cfg,
       cq_(classic_quorum_size(env.cluster_size())),
       clocks_(env.cluster_size(), 0),
       excluded_(env.cluster_size(), false),
+      rec_(env.id(), env.cluster_size(),
+           classic_quorum_size(env.cluster_size())),
       rejoin_clock_fence_(env.cluster_size(), 0),
       resync_target_(env.cluster_size(), 0),
       resync_buffer_(env.cluster_size(), 0) {
@@ -54,12 +56,12 @@ void ClockRsm::on_recover() {
   // have returned and been retracted while we were down): reset them. The
   // detector re-reports dead peers within one timeout, and standing
   // exclusions come back with the first catch-up reply.
-  suspected_mask_ = 0;
-  rounds_.clear();
+  rec_.reset_suspicions();
+  rec_.clear_rounds();
   pending_exclusions_.clear();
   resync_mask_ = 0;
   for (NodeId q = 0; q < n_; ++q) excluded_[q] = false;
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   // Arm the rejoin fences: every peer's current clock may cover commands
   // whose propose/commit traffic died with the outage; catch-up must reach
@@ -127,7 +129,7 @@ void ClockRsm::handle_propose(NodeId from, net::Decoder& d) {
   // here would split the cluster. Hold off — after the retraction the
   // proposer's periodic re-drive (see catchup_tick) offers it again, and
   // every peer answers consistently (accept, commit, or dead verdict).
-  if ((suspected_mask_ >> from) & 1) return;
+  if (rec_.is_suspected(from)) return;
   // A proposer's stamp doubles as a clock announcement: it will never stamp
   // below t again (FIFO links make this sound).
   note_clock(from, t);
@@ -220,7 +222,7 @@ void ClockRsm::note_clock(NodeId node, Time value) {
   // re-announce: advancing on it would let delivery leap over the peer's
   // pre-crash proposals that died in flight. Freeze until the retraction,
   // which re-fences the clock and patches the hole via catch-up.
-  if ((suspected_mask_ >> node) & 1) return;
+  if (rec_.is_suspected(node)) return;
   if ((clock_fence_pending_ >> node) & 1) {
     // First word from this peer since we rejoined: everything it stamps
     // from here on reaches us live.
@@ -264,7 +266,7 @@ void ClockRsm::try_deliver() {
   // *missed history*, not silence: delivering from log_ would leap over
   // commands the reply is about to replay. The replay path (deliver_entry)
   // does not come through here, so it is never blocked.
-  if (catchup_needed_) return;
+  if (rec_.catchup_needed()) return;
   Time min_clock = clocks_[env_.id()];
   for (NodeId q = 0; q < n_; ++q) {
     if (!excluded_[q]) min_clock = std::min(min_clock, clocks_[q]);
@@ -285,69 +287,28 @@ void ClockRsm::try_deliver() {
 // ---------------------------------------------------------------------------
 
 void ClockRsm::request_catchup() {
-  for (std::size_t step = 0; step < n_; ++step) {
-    catchup_rotor_ = static_cast<NodeId>((catchup_rotor_ + 1) % n_);
-    if (catchup_rotor_ == env_.id()) continue;
-    if ((suspected_mask_ >> catchup_rotor_) & 1) continue;
+  rec_.request_catchup([this](NodeId peer) {
     if (stats_ != nullptr) ++stats_->catchup_requests;
-    send_catchup_request(catchup_rotor_, frontier_, delivered_.rolling_hash());
-    return;
-  }
+    send_catchup_request(peer, frontier_, delivered_.rolling_hash());
+  });
 }
 
 void ClockRsm::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t req_frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
-  if (dur_ != nullptr && req_frontier < delivered_.base_index()) {
-    // Requester is behind our compaction horizon: serve the store snapshot
-    // at the current frontier (the durability mirror is the delivered
-    // state); it re-asks for the remaining suffix through the chunked path.
-    send_catchup_snapshot(from, dur_->mirror_store(), frontier_,
-                          delivered_.rolling_hash(), dur_->delivered_count());
-    return;
-  }
-  // The prefix hash is only meaningful when this node has resolved at least
-  // as far as the requester: a lagging responder's log is simply shorter,
-  // not divergent. 0 marks "no comparison possible" for the requester.
-  const std::uint64_t prefix_hash =
-      req_frontier <= frontier_ ? delivered_.hash_below(req_frontier) : 0;
-  if (req_frontier <= frontier_ && prefix_hash != their_hash) {
-    log::error("clockrsm: node ", from, " requests catch-up but our ",
-               "delivered prefixes disagree — replicas have diverged");
-  }
-  std::uint64_t pos = req_frontier;
-  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
-  // chunk's* from — for chunk 2+ the requester's rolling hash has already
-  // absorbed the previous chunks' replay, so stamping the original request
-  // hash would trip the divergence check spuriously. Carried incrementally
-  // (each chunk's own entries fold into the next chunk's hash) so a long
-  // reply stays O(log) instead of O(chunks x log).
-  std::uint64_t running_hash = prefix_hash;
-  while (true) {
-    rsm::LogSnapshot chunk =
-        delivered_.suffix(pos, frontier_, rsm::kCatchupChunkEntries);
-    chunk.prefix_hash = running_hash;
-    if (running_hash != 0) {
-      for (const auto& [idx, c] : chunk.entries) {
-        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
-      }
-    }
-    if (chunk.done) {
-      // Committed-but-undelivered entries ride along: their kCommit
-      // broadcasts predate the requester's return and were lost.
-      for (const auto& [stamp, entry] : log_) {
-        if (entry.committed && pack(stamp) >= req_frontier) {
-          chunk.entries.emplace_back(pack(stamp), entry.cmd);
+  rt::RecoveryDriver::serve_log_catchup(
+      *this, delivered_, dur_, from, req_frontier, their_hash, frontier_,
+      [this, req_frontier](
+          std::vector<std::pair<std::uint64_t, rsm::Command>>& extras) {
+        // Committed-but-undelivered entries ride along: their kCommit
+        // broadcasts predate the requester's return and were lost.
+        for (const auto& [stamp, entry] : log_) {
+          if (entry.committed && pack(stamp) >= req_frontier) {
+            extras.emplace_back(pack(stamp), entry.cmd);
+          }
         }
-      }
-    }
-    net::Encoder e = env_.encoder();
-    chunk.encode(e);
-    env_.send(from, rt::kCatchupReplyType, std::move(e));
-    if (stats_ != nullptr) ++stats_->catchup_chunks;
-    if (chunk.done) break;
-    pos = chunk.through;
-  }
+      },
+      stats_, "clockrsm");
   // Standing exclusions are re-announced so the requester resumes live
   // delivery past dead clocks (entry-less: the commands a decision carried
   // are covered by the chunks above).
@@ -405,7 +366,7 @@ void ClockRsm::on_catchup_reply(NodeId from, net::Decoder& d) {
     std::uint64_t fence = 0;
     bool pending = false;
     for (NodeId q = 0; q < n_; ++q) {
-      if (q == env_.id() || excluded_[q] || ((suspected_mask_ >> q) & 1)) {
+      if (q == env_.id() || excluded_[q] || rec_.is_suspected(q)) {
         continue;  // dead peers' commands are the revocation round's job
       }
       if ((clock_fence_pending_ >> q) & 1) {
@@ -418,7 +379,7 @@ void ClockRsm::on_catchup_reply(NodeId from, net::Decoder& d) {
             (static_cast<std::uint64_t>(rejoin_clock_fence_[q]) + 1) << 8);
       }
     }
-    if (!pending && frontier_ >= fence) catchup_needed_ = false;
+    if (!pending && frontier_ >= fence) rec_.set_catchup_needed(false);
   }
   maybe_activate_exclusions();
   for (auto& cmd : reraise) propose(std::move(cmd));
@@ -451,7 +412,7 @@ void ClockRsm::on_catchup_snapshot(NodeId from, net::Decoder& d) {
   maybe_complete_resyncs();
   maybe_activate_exclusions();
   // Everything newer than the snapshot still arrives the normal way.
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   try_deliver();
 }
@@ -487,21 +448,15 @@ void ClockRsm::on_restore(storage::RecoveredState& st) {
 void ClockRsm::catchup_tick() {
   env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
   maybe_start_revocations();
-  for (auto& [dead, round] : rounds_) {
-    if (env_.now() - round.last_query < cfg_.catchup_interval_us) continue;
-    std::uint64_t want = 0;
-    for (NodeId q = 0; q < n_; ++q) {
-      if (q != dead && ((suspected_mask_ >> q) & 1) == 0) want |= 1ull << q;
-    }
-    round.want_mask = want;
-    maybe_decide_revocation(dead);
-    if (rounds_.count(dead) == 0) break;  // decided; iterator invalidated
-    round.last_query = env_.now();
-    net::Encoder e = env_.encoder();
-    e.put_u32(dead);
-    e.put_varint(round.anchor);
-    env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
-  }
+  rec_.tick_rounds(
+      env_.now(), cfg_.catchup_interval_us,
+      [this](NodeId dead) { maybe_decide_revocation(dead); },
+      [this](NodeId dead, const rt::RecoveryDriver::Round& round) {
+        net::Encoder e = env_.encoder();
+        e.put_u32(dead);
+        e.put_varint(round.anchor);
+        env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
+      });
   // Re-drive own uncommitted proposals that have gone a full period without
   // committing: their kPropose may have been dropped by a crash on either
   // side or held at bay by acceptors that still suspected us. Peers whose
@@ -523,15 +478,13 @@ void ClockRsm::catchup_tick() {
   // guaranteed to move past its own pre-crash history.
   for (NodeId q = 0; q < n_; ++q) {
     if (((resync_mask_ >> q) & 1) == 0) continue;
-    if ((suspected_mask_ >> q) & 1) continue;  // crashed again; FD owns it
+    if (rec_.is_suspected(q)) continue;  // crashed again; FD owns it
     if (stats_ != nullptr) ++stats_->catchup_requests;
     send_catchup_request(q, frontier_, delivered_.rolling_hash());
   }
-  const bool stalled = frontier_ == last_deliver_mark_;
-  last_deliver_mark_ = frontier_;
-  if (catchup_needed_ || !pending_exclusions_.empty() ||
-      (stalled && !log_.empty())) {
-    catchup_needed_ = true;
+  if (rec_.watchdog_tick(frontier_, !log_.empty()) ||
+      !pending_exclusions_.empty()) {
+    rec_.set_catchup_needed(true);
     request_catchup();
   }
 }
@@ -540,20 +493,15 @@ void ClockRsm::catchup_tick() {
 // Dead-node revocation
 // ---------------------------------------------------------------------------
 
-NodeId ClockRsm::designated_revoker() const {
-  for (NodeId q = 0; q < n_; ++q) {
-    if (((suspected_mask_ >> q) & 1) == 0) return q;
-  }
-  return env_.id();
-}
+NodeId ClockRsm::designated_revoker() const { return rec_.designated_revoker(); }
 
 void ClockRsm::maybe_start_revocations() {
   if (designated_revoker() != env_.id()) return;
-  if (catchup_needed_) return;  // anchor rounds at a caught-up frontier
+  if (rec_.catchup_needed()) return;  // anchor rounds at a caught-up frontier
   for (NodeId dead = 0; dead < n_; ++dead) {
-    if (((suspected_mask_ >> dead) & 1) == 0) continue;
+    if (!rec_.is_suspected(dead)) continue;
     if (excluded_[dead] || pending_exclusions_.count(dead) != 0) continue;
-    if (rounds_.count(dead) != 0) continue;
+    if (rec_.round_open(dead)) continue;
     start_revocation(dead);
   }
 }
@@ -570,21 +518,12 @@ void ClockRsm::collect_revoke_info(
 }
 
 void ClockRsm::start_revocation(NodeId dead) {
-  RevokeRound round;
-  round.anchor = frontier_;
-  round.last_query = env_.now();
-  for (NodeId q = 0; q < n_; ++q) {
-    if (q != dead && ((suspected_mask_ >> q) & 1) == 0) {
-      round.want_mask |= 1ull << q;
-    }
-  }
-  round.got_mask = 1ull << env_.id();
-  collect_revoke_info(dead, round.entries);
+  rt::RecoveryDriver::Round& round = rec_.open_round(dead, frontier_, env_.now());
+  collect_revoke_info(dead, round.values);
   net::Encoder e = env_.encoder();
   e.put_u32(dead);
   e.put_varint(round.anchor);
   env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
-  rounds_.emplace(dead, std::move(round));
   maybe_decide_revocation(dead);
 }
 
@@ -613,43 +552,33 @@ void ClockRsm::handle_revoke_info(NodeId from, net::Decoder& d) {
     const std::uint64_t packed = d.get_varint();
     reported.emplace(packed, rsm::Command::decode(d));
   }
-  auto it = rounds_.find(dead);
   // The anchor rejects replies that answered an *earlier* round for the
   // same target (possible when a partition delays them across the target's
   // recover/re-crash): counting one would let the round decide without the
   // responder's current entries.
-  if (it == rounds_.end() || it->second.anchor != anchor) return;
-  RevokeRound& round = it->second;
-  round.got_mask |= 1ull << from;
-  for (auto& [packed, cmd] : reported) {
-    round.entries.emplace(packed, std::move(cmd));
+  if (rec_.record_report(dead, anchor, from, std::move(reported)) == nullptr) {
+    return;
   }
   maybe_decide_revocation(dead);
 }
 
 void ClockRsm::maybe_decide_revocation(NodeId dead) {
-  auto it = rounds_.find(dead);
-  if (it == rounds_.end()) return;
-  RevokeRound& round = it->second;
   // Every peer believed alive must answer, and a classic quorum overall, so
   // a minority partition cannot exclude a clock behind the majority's back.
-  if ((round.got_mask & round.want_mask) != round.want_mask) return;
-  if (static_cast<std::size_t>(std::popcount(round.got_mask)) < cq_) return;
+  if (!rec_.round_complete(dead)) return;
+  rt::RecoveryDriver::Round round = rec_.close_round(dead);
 
   net::Encoder e = env_.encoder();
   e.put_u32(dead);
   e.put_varint(frontier_);  // receivers behind this must catch up first
-  e.put_varint(round.entries.size());
-  for (const auto& [packed, cmd] : round.entries) {
+  e.put_varint(round.values.size());
+  for (const auto& [packed, cmd] : round.values) {
     e.put_varint(packed);
     cmd.encode(e);
   }
   env_.broadcast(kRevokeDecision, std::move(e), /*include_self=*/false);
   if (stats_ != nullptr) ++stats_->revocations;
-  std::map<std::uint64_t, rsm::Command> entries = std::move(round.entries);
-  const std::uint64_t ref = frontier_;
-  rounds_.erase(it);
-  apply_revoke_decision(dead, ref, std::move(entries));
+  apply_revoke_decision(dead, frontier_, std::move(round.values));
 }
 
 void ClockRsm::handle_revoke_decision(net::Decoder& d) {
@@ -682,13 +611,13 @@ void ClockRsm::apply_revoke_decision(
   // advances normally), and only once our frontier has reached the
   // revoker's: activating earlier could race us past commands the revoker
   // had delivered but we have never seen.
-  if ((suspected_mask_ >> dead) & 1) {
+  if (rec_.is_suspected(dead)) {
     if (frontier_ >= ref_frontier) {
       excluded_[dead] = true;
     } else {
       auto [it, inserted] = pending_exclusions_.emplace(dead, ref_frontier);
       if (!inserted && ref_frontier < it->second) it->second = ref_frontier;
-      catchup_needed_ = true;
+      rec_.set_catchup_needed(true);
       request_catchup();
     }
   }
@@ -698,10 +627,10 @@ void ClockRsm::apply_revoke_decision(
 void ClockRsm::maybe_activate_exclusions() {
   for (auto it = pending_exclusions_.begin();
        it != pending_exclusions_.end();) {
-    if (frontier_ >= it->second && ((suspected_mask_ >> it->first) & 1)) {
+    if (frontier_ >= it->second && rec_.is_suspected(it->first)) {
       excluded_[it->first] = true;
       it = pending_exclusions_.erase(it);
-    } else if (((suspected_mask_ >> it->first) & 1) == 0) {
+    } else if (!rec_.is_suspected(it->first)) {
       it = pending_exclusions_.erase(it);  // target returned meanwhile
     } else {
       ++it;
@@ -710,16 +639,15 @@ void ClockRsm::maybe_activate_exclusions() {
 }
 
 void ClockRsm::on_node_suspected(NodeId peer) {
-  suspected_mask_ |= 1ull << peer;
+  rec_.note_suspected(peer);
   resync_mask_ &= ~(1ull << peer);  // crashed again; revocation takes over
   maybe_start_revocations();
 }
 
 void ClockRsm::on_node_recovered(NodeId peer) {
-  suspected_mask_ &= ~(1ull << peer);
+  rec_.note_recovered(peer);  // clears the suspicion and voids its round
   excluded_[peer] = false;
   pending_exclusions_.erase(peer);
-  rounds_.erase(peer);
   // The suspicion window was a hole in our link from this peer: commands it
   // delivered just before crashing may be unknown here, and unfreezing its
   // clock now would let delivery leap over them. Keep the clock frozen

@@ -35,6 +35,7 @@
 
 #include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
+#include "runtime/recovery_driver.h"
 #include "stats/protocol_stats.h"
 
 namespace caesar::clockrsm {
@@ -113,18 +114,6 @@ class ClockRsm final : public rt::Protocol {
     Time proposed_at = 0;    // leader-side instrumentation (0 on acceptors)
   };
 
-  /// One revocation round this node drives as the designated revoker.
-  struct RevokeRound {
-    /// Revoker frontier at round start: echoed by queries and replies so a
-    /// reply delayed from an earlier round of the same target cannot count
-    /// toward this one.
-    std::uint64_t anchor = 0;
-    std::uint64_t want_mask = 0;
-    std::uint64_t got_mask = 0;
-    std::map<std::uint64_t, rsm::Command> entries;  // packed stamp -> cmd
-    Time last_query = 0;
-  };
-
   void handle_propose(NodeId from, net::Decoder& d);
   void handle_ack(NodeId from, net::Decoder& d);
   void handle_commit(net::Decoder& d);
@@ -171,19 +160,21 @@ class ClockRsm final : public rt::Protocol {
   /// everything is resolved here.
   std::uint64_t frontier_ = 0;
 
-  /// Failure-detector view and revocation state. excluded_[q]: q's frozen
-  /// clock is ignored by the delivery gate (cleared when q returns).
-  std::uint64_t suspected_mask_ = 0;
+  /// Revocation state. excluded_[q]: q's frozen clock is ignored by the
+  /// delivery gate (cleared when q returns — unlike a slot protocol's
+  /// revoked ranges, an exclusion is about the *clock*, and the resync
+  /// fences make un-excluding safe once the peer is provably back).
   std::vector<bool> excluded_;
   /// Decisions received while this node's frontier trailed the revoker's:
   /// the exclusion activates only once catch-up reaches the recorded
   /// reference frontier, or this node could race past commands it never saw.
   std::unordered_map<NodeId, std::uint64_t> pending_exclusions_;
-  std::unordered_map<NodeId, RevokeRound> rounds_;
 
-  bool catchup_needed_ = false;
-  NodeId catchup_rotor_ = 0;
-  std::uint64_t last_deliver_mark_ = 0;
+  /// Shared recovery machinery: failure-detector view, catch-up rotor and
+  /// progress watchdog, designated-revoker rounds (runtime/recovery_driver.h).
+  /// Round values map packed stamp -> command. The driver's revoked-range
+  /// half is unused: exclusions above are Clock-RSM's verdict form.
+  rt::RecoveryDriver rec_;
   /// Rejoin soundness fence: commands stamped below a peer's clock at the
   /// moment our link resumed may have been lost with the outage, so
   /// catch-up only counts as complete once the replayed frontier passes the

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "rsm/log_snapshot.h"
 
 namespace caesar::core {
 
@@ -11,6 +12,15 @@ namespace {
 /// CPU accounting: one microsecond of service per this many index entries or
 /// predecessor-set elements touched (calibrated, see DESIGN.md).
 constexpr Time kEntriesPerUs = 16;
+
+/// Order-independent accumulator over a set of command ids (iteration order of
+/// the history map is unspecified, so the fold must commute). Used by catch-up
+/// to compare per-origin stable sets without shipping them.
+std::uint64_t mix_id(std::uint64_t h, CmdId id) {
+  std::uint64_t x = static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  return h ^ x;
+}
 }  // namespace
 
 Caesar::Caesar(rt::Env& env, DeliverFn deliver, CaesarConfig cfg,
@@ -22,12 +32,50 @@ Caesar::Caesar(rt::Env& env, DeliverFn deliver, CaesarConfig cfg,
       fq_(cfg.fast_quorum_override != 0 ? cfg.fast_quorum_override
                                         : fast_quorum_size(env.cluster_size())),
       cq_(classic_quorum_size(env.cluster_size())),
-      clock_(env.id()) {}
+      clock_(env.id()),
+      rec_(env.id(), env.cluster_size(),
+           classic_quorum_size(env.cluster_size())) {}
 
 void Caesar::start() {
   if (cfg_.gossip_interval_us > 0) {
     env_.set_timer(cfg_.gossip_interval_us, [this] { gossip_tick(); });
   }
+  if (cfg_.catchup_interval_us > 0) {
+    env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  }
+}
+
+void Caesar::on_recover() {
+  // Restart the timer chains (they died with the crash), then reconstruct
+  // what the outage cost us on both sides of the protocol.
+  start();
+  // Pre-crash failure-detector verdicts are stale; the detector re-reports
+  // genuinely dead peers within one timeout.
+  rec_.reset_suspicions();
+  // Commands we were coordinating or recovering lost their quorum replies
+  // and phase timers with the crash. Re-drive each through ballot-protected
+  // recovery: it reconstructs the command's fate from a classic quorum,
+  // including decisions peers completed while we were down. Timer ids are
+  // stale post-crash, so they are cleared rather than cancelled.
+  std::vector<CmdId> redrive;
+  for (auto& [id, rc] : recovery_) {
+    rc.retry_timer = sim::kNoEvent;
+    redrive.push_back(id);
+  }
+  recovery_.clear();
+  for (auto& [id, c] : coord_) {
+    if (c.phase == Phase::kDone) continue;
+    c.timeout = sim::kNoEvent;
+    redrive.push_back(id);
+  }
+  std::sort(redrive.begin(), redrive.end());
+  redrive.erase(std::unique(redrive.begin(), redrive.end()), redrive.end());
+  for (CmdId id : redrive) start_recovery(id);
+  // Stable/deliver traffic that flowed while we were down is gone for good —
+  // nobody re-broadcasts a STABLE. Pull the missed instances from a live
+  // peer and replay them through normal delivery.
+  rec_.set_catchup_needed(true);
+  request_catchup();
 }
 
 Ballot Caesar::current_ballot(CmdId id) const {
@@ -698,6 +746,7 @@ void Caesar::deliver_cascade(CmdId id) {
 // --------------------------------------------------------------------------
 
 void Caesar::on_node_suspected(NodeId peer) {
+  rec_.note_suspected(peer);
   std::vector<CmdId> to_recover;
   for (const auto& [id, info] : history_) {
     if (info.status == Status::kStable || info.status == Status::kNone)
@@ -711,6 +760,12 @@ void Caesar::on_node_suspected(NodeId peer) {
         static_cast<std::uint64_t>(cfg_.recovery_stagger_us) + 1));
     env_.set_timer(stagger, [this, id] { start_recovery(id); });
   }
+}
+
+void Caesar::on_node_recovered(NodeId peer) {
+  // The peer is back with its state intact; it pulls what it missed through
+  // its own catch-up, so nothing needs re-sending from here.
+  rec_.note_recovered(peer);
 }
 
 void Caesar::start_recovery(CmdId id) {
@@ -894,6 +949,187 @@ void Caesar::finish_recovery(CmdId id) {
 }
 
 // --------------------------------------------------------------------------
+// Instance catch-up (rejoin state transfer)
+// --------------------------------------------------------------------------
+// There is no slot log to ship a suffix of: a rejoining node instead asks a
+// live peer for the *stable instances* it missed. The request summarizes
+// local knowledge as per-origin sequence bounds (instance columns are not
+// dense — batching and resubmission leave permanent, harmless holes — so
+// bounds only say "stream anything newer than this") plus an explicit list
+// of instances known to exist but not stable here (in-flight entries whose
+// STABLE died with the outage, predecessors referenced by blocked stables).
+// Replay is make_stable per instance: idempotent, maintains the conflict
+// index, and cascades normal dependency-ordered delivery, so catch-up
+// traffic interleaves safely with live proposals.
+
+void Caesar::catchup_tick() {
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  // Drop hints that resolved through normal traffic since the last tick.
+  for (auto it = catchup_hints_.begin(); it != catchup_hints_.end();) {
+    if (status_of(*it) == Status::kStable || delivered_.count(*it) != 0) {
+      it = catchup_hints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Backlog evidence: a peer-delivered command not stable here (gossip
+  // hint), a stable command blocked on an undelivered predecessor, or an
+  // in-flight entry that never resolves. Any of these together with a
+  // stalled delivered count means this node is missing decisions.
+  bool backlog = !catchup_hints_.empty() || !delivery_waiters_.empty();
+  if (!backlog) {
+    for (const auto& [id, info] : history_) {
+      if (info.status != Status::kNone && info.status != Status::kStable) {
+        backlog = true;
+        break;
+      }
+      if (info.status == Status::kStable && delivered_.count(id) == 0) {
+        backlog = true;
+        break;
+      }
+    }
+  }
+  if (rec_.watchdog_tick(delivered_.size(), backlog)) request_catchup();
+}
+
+void Caesar::request_catchup() {
+  // Per-origin stable bound: responder streams instances at/above it. The
+  // bound alone is not airtight — stability completes out of seq order, so a
+  // command proposed before an outage (seq below the bound) can go stable
+  // *during* it and leave a hole the bound skips forever. The per-origin
+  // hash of the stable set below the bound closes that: on mismatch the
+  // responder re-ships its whole below-bound column (idempotent replay, and
+  // the news-free round policy repeats until the hashes agree).
+  std::vector<std::uint64_t> bound(n_, 0);
+  std::vector<std::uint64_t> hash(n_, 0);
+  std::vector<CmdId> wanted;
+  for (const auto& [id, info] : history_) {
+    if (info.status == Status::kStable) {
+      const NodeId o = cmd_origin(id);
+      if (o < n_) {
+        bound[o] = std::max(bound[o], cmd_seq(id) + 1);
+        hash[o] = mix_id(hash[o], id);  // bound = max+1, so all stables count
+      }
+    } else if (info.status != Status::kNone) {
+      wanted.push_back(id);  // in flight here; may be stable elsewhere
+    }
+  }
+  for (const auto& [missing, waiters] : delivery_waiters_) {
+    if (status_of(missing) != Status::kStable) wanted.push_back(missing);
+  }
+  for (CmdId hint : catchup_hints_) {
+    if (status_of(hint) != Status::kStable) wanted.push_back(hint);
+  }
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  if (wanted.size() > kCatchupMaxWanted) wanted.resize(kCatchupMaxWanted);
+  rec_.request_catchup([&](NodeId peer) {
+    if (stats_ != nullptr) ++stats_->catchup_requests;
+    net::Encoder e = env_.encoder();
+    e.put_varint(rec_.catchup_round());
+    e.put_varint(n_);
+    for (std::uint64_t b : bound) e.put_varint(b);
+    for (std::uint64_t h : hash) e.put_u64(h);
+    e.put_varint(wanted.size());
+    for (CmdId w : wanted) e.put_varint(w);
+    env_.send(peer, rt::kCatchupRequestType, std::move(e));
+  });
+}
+
+void Caesar::on_catchup_request(NodeId from, net::Decoder& d) {
+  const std::uint64_t round = d.get_varint();
+  const std::uint64_t norig = d.get_varint();
+  std::vector<std::uint64_t> bound(norig, 0);
+  for (std::uint64_t i = 0; i < norig; ++i) bound[i] = d.get_varint();
+  std::vector<std::uint64_t> their_hash(norig, 0);
+  for (std::uint64_t i = 0; i < norig; ++i) their_hash[i] = d.get_u64();
+  const std::uint64_t nwant = d.get_varint();
+  std::vector<CmdId> ship;
+  std::unordered_set<CmdId> seen;
+  for (std::uint64_t i = 0; i < nwant; ++i) {
+    const CmdId w = d.get_varint();
+    if (status_of(w) == Status::kStable && seen.insert(w).second) {
+      ship.push_back(w);
+    }
+  }
+  // Local view of each requester-bounded stable set; a hash mismatch means
+  // the requester has a hole below its own bound (or is ahead of us — then
+  // the re-shipped column replays as no-ops and produces no news).
+  std::vector<std::uint64_t> our_hash(norig, 0);
+  for (const auto& [id, info] : history_) {
+    if (info.status != Status::kStable) continue;
+    const NodeId o = cmd_origin(id);
+    if (o < norig && cmd_seq(id) < bound[o]) {
+      our_hash[o] = mix_id(our_hash[o], id);
+    }
+  }
+  for (const auto& [id, info] : history_) {
+    if (info.status != Status::kStable) continue;
+    const NodeId o = cmd_origin(id);
+    if (o >= norig) continue;
+    const bool above_bound = cmd_seq(id) >= bound[o];
+    const bool hole_suspect = !above_bound && our_hash[o] != their_hash[o];
+    if ((above_bound || hole_suspect) && seen.insert(id).second) {
+      ship.push_back(id);
+    }
+  }
+  std::sort(ship.begin(), ship.end());  // deterministic frame contents
+  // Chunked frames: varint count, count x TimestampedCmdMsg, u8 done. An
+  // empty result still sends one done frame so the requester's
+  // catchup_needed latch clears.
+  std::size_t pos = 0;
+  do {
+    const std::size_t count =
+        std::min(ship.size() - pos, rsm::kCatchupChunkEntries);
+    net::Encoder e = env_.encoder();
+    e.put_varint(round);
+    e.put_varint(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const CmdInfo& info = history_.at(ship[pos + k]);
+      info.cmd.encode(e);
+      e.put_u64(info.ballot);
+      info.ts.encode(e);
+      e.put_id_set(info.pred);
+    }
+    pos += count;
+    e.put_u8(pos == ship.size() ? 1 : 0);
+    env_.send(from, rt::kCatchupReplyType, std::move(e));
+    if (stats_ != nullptr) ++stats_->catchup_chunks;
+  } while (pos < ship.size());
+}
+
+void Caesar::on_catchup_reply(NodeId /*from*/, net::Decoder& d) {
+  const std::uint64_t round = d.get_varint();
+  const std::uint64_t count = d.get_varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TimestampedCmdMsg m = TimestampedCmdMsg::decode(d);
+    clock_.observe(m.ts);
+    const CmdId id = m.cmd.id;
+    if (m.ballot > current_ballot(id)) ballots_[id] = m.ballot;
+    if (status_of(id) != Status::kStable) {
+      rec_.note_catchup_news();
+      if (stats_ != nullptr) ++stats_->catchup_commands;
+    }
+    // A coordinator of ours still in flight for this command is obsolete —
+    // the decision is in; it must not push a dead ballot any further.
+    auto cit = coord_.find(id);
+    if (cit != coord_.end() && cit->second.phase != Phase::kDone) {
+      if (cit->second.timeout != sim::kNoEvent) {
+        env_.cancel_timer(cit->second.timeout);
+      }
+      coord_.erase(cit);
+    }
+    make_stable(m.cmd, m.ballot, m.ts, std::move(m.pred));
+  }
+  if (d.get_u8() != 0 && round == rec_.catchup_round()) {
+    // Clears the latch only if the round in flight taught us nothing new;
+    // otherwise the next tick asks the next peer on the rotor, until a full
+    // round comes back news-free (see RecoveryDriver::finish_catchup_round).
+    rec_.finish_catchup_round();
+  }
+}
+
+// --------------------------------------------------------------------------
 // Garbage collection via delivered-id gossip
 // --------------------------------------------------------------------------
 
@@ -916,6 +1152,10 @@ void Caesar::handle_gossip(NodeId /*from*/, net::Decoder& d) {
   GossipMsg m = GossipMsg::decode(d);
   for (std::uint64_t id : m.delivered) {
     if (++delivered_acks_[id] == n_) maybe_prune(id);
+    // The sender delivered this command; if it is not stable here, its
+    // STABLE never arrived (e.g. the broadcast died with a crashing sender)
+    // and nothing local may ever reference it — flag it for catch-up.
+    if (status_of(id) != Status::kStable) catchup_hints_.insert(id);
   }
 }
 

@@ -32,6 +32,7 @@
 #include "core/key_index.h"
 #include "core/timestamp.h"
 #include "runtime/protocol.h"
+#include "runtime/recovery_driver.h"
 #include "stats/protocol_stats.h"
 
 namespace caesar::core {
@@ -53,6 +54,12 @@ struct CaesarConfig {
   /// Delivered-id gossip period driving garbage collection; 0 disables GC
   /// (tests that inspect full histories disable it).
   Time gossip_interval_us = 0;
+  /// Progress-watchdog period: a stalled delivered count with undelivered
+  /// backlog (blocked stables, in-flight entries that never resolve)
+  /// triggers instance catch-up from a rotating live peer. 0 disables the
+  /// watchdog (unit tests drive the simulator to quiescence; the scenario
+  /// harness enables it for fault runs).
+  Time catchup_interval_us = 0;
 };
 
 class Caesar final : public rt::Protocol {
@@ -61,9 +68,13 @@ class Caesar final : public rt::Protocol {
          stats::ProtocolStats* stats);
 
   void start() override;
+  void on_recover() override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   void on_node_suspected(NodeId peer) override;
+  void on_node_recovered(NodeId peer) override;
+  void on_catchup_request(NodeId from, net::Decoder& d) override;
+  void on_catchup_reply(NodeId from, net::Decoder& d) override;
   std::string_view name() const override { return "Caesar"; }
 
   // --- introspection (tests / benches) ------------------------------------
@@ -206,6 +217,16 @@ class Caesar final : public rt::Protocol {
   void start_recovery(CmdId id);
   void finish_recovery(CmdId id);
 
+  // ---- instance catch-up ------------------------------------------------------
+  // CAESAR has no totally ordered log, so rejoin state transfer works in
+  // *instance space*: the requester summarizes its stable knowledge as
+  // per-origin sequence bounds plus an explicit list of instances it knows
+  // exist but has not seen stable (in-flight entries, missing predecessors),
+  // and the responder streams matching stable instances in chunks. Replay
+  // goes through make_stable, i.e. the normal dependency-driven delivery.
+  void catchup_tick();
+  void request_catchup();
+
   // ---- gc ----------------------------------------------------------------------
   void gossip_tick();
   void maybe_prune(CmdId id);
@@ -250,6 +271,22 @@ class Caesar final : public rt::Protocol {
   // --- gc state ---
   std::vector<CmdId> gossip_outbox_;
   std::unordered_map<CmdId, std::uint32_t> delivered_acks_;
+
+  // --- catch-up state ---
+  /// Shared recovery machinery: failure-detector view, catch-up rotor and
+  /// progress watchdog (runtime/recovery_driver.h). Revocation rounds are
+  /// unused: CAESAR's ballot-protected per-command recovery (paper Fig 5)
+  /// already resolves a dead leader's in-flight commands.
+  rt::RecoveryDriver rec_;
+  /// Cap on explicitly requested missing instances per catch-up request;
+  /// the watchdog keeps re-requesting until the backlog drains, so the cap
+  /// only bounds one round, not total transfer.
+  static constexpr std::size_t kCatchupMaxWanted = 512;
+  /// Delivered ids gossiped by peers that are not stable here: each is proof
+  /// of a decision this node missed (e.g. a STABLE broadcast cut down
+  /// mid-flight by the sender's crash), so they count as watchdog backlog
+  /// and ride the catch-up wanted list. Pruned lazily once stable locally.
+  std::unordered_set<CmdId> catchup_hints_;
 };
 
 }  // namespace caesar::core

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "rsm/log_snapshot.h"
 
 namespace caesar::epaxos {
 
@@ -51,7 +52,38 @@ EPaxos::EPaxos(rt::Env& env, DeliverFn deliver, EPaxosConfig cfg,
       stats_(stats),
       n_(env.cluster_size()),
       fq_(epaxos_fast_quorum_size(env.cluster_size())),
-      cq_(classic_quorum_size(env.cluster_size())) {}
+      cq_(classic_quorum_size(env.cluster_size())),
+      rec_(env.id(), env.cluster_size(),
+           classic_quorum_size(env.cluster_size())) {}
+
+void EPaxos::start() {
+  if (cfg_.catchup_interval_us > 0) {
+    env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  }
+}
+
+void EPaxos::on_recover() {
+  start();
+  rec_.reset_suspicions();
+  // In-flight coordinators and recoveries lost their outstanding messages in
+  // the outage. Re-drive each instance through the ballot-protected explicit
+  // prepare: peers may have advanced (or no-op'd) it meanwhile, and prepare
+  // converges on whatever the cluster decided. Timer ids are stale after a
+  // crash and must not be cancelled.
+  std::vector<InstanceId> redrive;
+  for (auto& [iid, rc] : recovery_) {
+    rc.retry_timer = sim::kNoEvent;
+    redrive.push_back(iid);
+  }
+  recovery_.clear();
+  for (const auto& [iid, c] : coord_) redrive.push_back(iid);
+  coord_.clear();
+  std::sort(redrive.begin(), redrive.end());
+  redrive.erase(std::unique(redrive.begin(), redrive.end()), redrive.end());
+  for (InstanceId iid : redrive) start_recovery(iid);
+  rec_.set_catchup_needed(true);
+  request_catchup();
+}
 
 bool EPaxos::is_executed(InstanceId iid) const {
   auto it = instances_.find(iid);
@@ -200,6 +232,15 @@ void EPaxos::handle_pre_accept_reply(NodeId from, net::Decoder& d) {
 // ---------------------------------------------------------------------------
 
 void EPaxos::start_accept_phase(InstanceId iid, std::uint64_t seq, IdSet deps) {
+  Instance& inst = instances_[iid];
+  // The decision may have raced in (a commit broadcast or catch-up reply
+  // landing between quorum formation and this call): regressing a committed —
+  // worse, executed — instance to kAccepted would let the eventual re-commit
+  // deliver it a second time. The decision is in; stand down.
+  if (inst.status == IStatus::kCommitted || inst.status == IStatus::kExecuted) {
+    coord_.erase(iid);
+    return;
+  }
   auto it = coord_.find(iid);
   assert(it != coord_.end());
   Coordinator& c = it->second;
@@ -208,7 +249,6 @@ void EPaxos::start_accept_phase(InstanceId iid, std::uint64_t seq, IdSet deps) {
   c.deps = deps;
   c.accept_acks = 1;  // self
 
-  Instance& inst = instances_[iid];
   inst.seq = seq;
   inst.deps = deps;
   inst.status = IStatus::kAccepted;
@@ -307,6 +347,7 @@ void EPaxos::apply_commit(InstanceId iid, const rsm::Command& cmd,
 
 void EPaxos::execute_instance(Instance& inst, InstanceId iid) {
   inst.status = IStatus::kExecuted;
+  ++executed_count_;
   if (!inst.cmd.ops.empty()) deliver_(inst.cmd);
   (void)iid;
 }
@@ -416,6 +457,7 @@ void EPaxos::try_execute(InstanceId root) {
 // ---------------------------------------------------------------------------
 
 void EPaxos::on_node_suspected(NodeId peer) {
+  rec_.note_suspected(peer);
   std::vector<InstanceId> to_recover;
   for (const auto& [iid, inst] : instances_) {
     if (iid_leader(iid) != peer) continue;
@@ -502,6 +544,23 @@ void EPaxos::finish_recovery(InstanceId iid) {
   recovery_.erase(rit);
   if (rc.retry_timer != sim::kNoEvent) env_.cancel_timer(rc.retry_timer);
 
+  // Prepare replies are snapshots from when the prepare went out; the real
+  // commit may have raced them in (delivered — even executed — here while
+  // the last reply was in flight). Re-announce the decided value instead of
+  // regressing the instance through another accept round or a no-op fill.
+  {
+    auto iit = instances_.find(iid);
+    if (iit != instances_.end() &&
+        (iit->second.status == IStatus::kCommitted ||
+         iit->second.status == IStatus::kExecuted)) {
+      const Instance& inst = iit->second;
+      net::Encoder e = env_.encoder();
+      encode_instance_msg(e, iid, rc.ballot, inst.cmd, inst.seq, inst.deps);
+      env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
+      return;
+    }
+  }
+
   const Instance* committed = nullptr;
   const Instance* accepted = nullptr;
   std::vector<const Instance*> preaccepted;
@@ -549,33 +608,58 @@ void EPaxos::finish_recovery(InstanceId iid) {
   }
   if (!preaccepted.empty()) {
     // If >= floor(CQ/2)+1 identical pre-accepts exist, the fast path may
-    // have fired with those attributes: adopt them. Otherwise take the
-    // union, which is always safe because no decision can have been taken.
-    const std::size_t threshold = cq_ / 2 + 1;
+    // have fired with those attributes: adopt them via Accept. The shortcut
+    // is meaningless when this node leads the instance — only the leader
+    // can take the fast path, and it is recovering precisely because it
+    // never committed — so a self-led recovery always re-runs PreAccept.
     const Instance* chosen = nullptr;
-    for (const Instance* a : preaccepted) {
-      std::size_t same = 0;
-      for (const Instance* b : preaccepted) {
-        if (a->seq == b->seq && a->deps == b->deps) ++same;
-      }
-      if (same >= threshold) {
-        chosen = a;
-        break;
-      }
-    }
-    std::uint64_t seq = 0;
-    IdSet deps;
-    if (chosen != nullptr) {
-      seq = chosen->seq;
-      deps = chosen->deps;
-    } else {
+    if (iid_leader(iid) != env_.id()) {
+      const std::size_t threshold = cq_ / 2 + 1;
       for (const Instance* a : preaccepted) {
-        seq = std::max(seq, a->seq);
-        deps.merge(a->deps);
+        std::size_t same = 0;
+        for (const Instance* b : preaccepted) {
+          if (a->seq == b->seq && a->deps == b->deps) ++same;
+        }
+        if (same >= threshold) {
+          chosen = a;
+          break;
+        }
       }
     }
-    instances_[iid].cmd = preaccepted.front()->cmd;
-    start_accept_phase(iid, seq, deps);
+    if (chosen != nullptr) {
+      instances_[iid].cmd = chosen->cmd;
+      start_accept_phase(iid, chosen->seq, chosen->deps);
+      return;
+    }
+    // No fast-path evidence. The surviving pre-accepts are snapshots from
+    // before the outage: commands proposed meanwhile never made it into
+    // their attributes, and pushing the stale union through Accept (which
+    // stores attributes verbatim) would commit an interfering command with
+    // no ordering edge to its rivals. Instead re-run the PreAccept round at
+    // the recovery ballot, seeded with the union plus locally recomputed
+    // interference — acceptors fold in whatever they learned since, and any
+    // disagreement routes through the normal slow path (the simplified
+    // stand-in for the paper's TryPreAccept, see DESIGN.md).
+    const rsm::Command cmd = preaccepted.front()->cmd;
+    auto [seq, deps] = attributes_for(cmd, iid);
+    for (const Instance* a : preaccepted) {
+      seq = std::max(seq, a->seq);
+      deps.merge(a->deps);
+    }
+    Instance& inst = instances_[iid];
+    inst.cmd = cmd;
+    inst.seq = seq;
+    inst.deps = deps;
+    inst.status = IStatus::kPreAccepted;
+    inst.ballot = rc.ballot;
+    note_instance(iid, cmd, seq);
+    c.seq = seq;
+    c.deps = deps;
+    c.max_seq = seq;
+    c.union_deps = deps;
+    net::Encoder e = env_.encoder();
+    encode_instance_msg(e, iid, rc.ballot, cmd, seq, deps);
+    env_.broadcast(kPreAccept, std::move(e), /*include_self=*/false);
     return;
   }
   // Nobody knows the instance: commit a no-op to fill the slot.
@@ -590,6 +674,146 @@ void EPaxos::finish_recovery(InstanceId iid) {
   encode_instance_msg(e, iid, rc.ballot, noop, 0, IdSet{});
   env_.broadcast(kCommit, std::move(e), /*include_self=*/false);
   apply_commit(iid, noop, 0, IdSet{});
+}
+
+void EPaxos::on_node_recovered(NodeId peer) {
+  // Clears the suspicion; the rejoiner pulls what it missed via its own
+  // catch-up, so nothing to push from this side.
+  rec_.note_recovered(peer);
+}
+
+// ---------------------------------------------------------------------------
+// Instance catch-up (rejoin state transfer)
+// ---------------------------------------------------------------------------
+// Leader columns are dense — slots come from a per-leader counter starting at
+// 1 — and instances are never pruned, so one committed-prefix frontier per
+// leader captures everything this node can be missing: the responder streams
+// every committed instance at/above each frontier. Re-shipping instances the
+// requester already has above its first hole is harmless (apply_commit is
+// idempotent) and the hole fills on the first successful round, so frontiers
+// stay tight in steady state.
+
+std::vector<std::uint64_t> EPaxos::committed_frontiers(bool* any_hole) const {
+  std::vector<std::vector<std::uint64_t>> committed(n_);
+  for (const auto& [iid, inst] : instances_) {
+    if (inst.status != IStatus::kCommitted &&
+        inst.status != IStatus::kExecuted) {
+      continue;
+    }
+    const NodeId leader = iid_leader(iid);
+    if (leader < n_) committed[leader].push_back(iid_slot(iid));
+  }
+  std::vector<std::uint64_t> frontier(n_, 1);
+  for (std::size_t l = 0; l < n_; ++l) {
+    std::sort(committed[l].begin(), committed[l].end());
+    std::uint64_t f = 1;
+    for (std::uint64_t s : committed[l]) {
+      if (s != f) break;
+      ++f;
+    }
+    frontier[l] = f;
+    if (any_hole != nullptr && !committed[l].empty() &&
+        committed[l].back() >= f) {
+      *any_hole = true;
+    }
+  }
+  return frontier;
+}
+
+void EPaxos::catchup_tick() {
+  env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
+  // Backlog evidence: a column hole (a committed slot above an uncommitted
+  // one — that commit was dropped while a link was down and nothing local
+  // may reference it), execution blocked on an unresolved dependency, or
+  // any instance stuck short of execution. Together with a stalled
+  // execution frontier that means this node is missing decisions it cannot
+  // reach through normal traffic.
+  bool backlog = false;
+  committed_frontiers(&backlog);
+  if (!backlog) backlog = !exec_waiters_.empty() || !unknown_deps_.empty();
+  if (!backlog) {
+    for (const auto& [iid, inst] : instances_) {
+      if (inst.status != IStatus::kNone && inst.status != IStatus::kExecuted) {
+        backlog = true;
+        break;
+      }
+    }
+  }
+  if (rec_.watchdog_tick(executed_count_, backlog)) request_catchup();
+}
+
+void EPaxos::request_catchup() {
+  // Per-leader committed-prefix frontier: smallest slot not committed here.
+  const std::vector<std::uint64_t> frontier = committed_frontiers(nullptr);
+  rec_.request_catchup([&](NodeId peer) {
+    if (stats_ != nullptr) ++stats_->catchup_requests;
+    net::Encoder e = env_.encoder();
+    e.put_varint(rec_.catchup_round());
+    e.put_varint(n_);
+    for (std::uint64_t f : frontier) e.put_varint(f);
+    env_.send(peer, rt::kCatchupRequestType, std::move(e));
+  });
+}
+
+void EPaxos::on_catchup_request(NodeId from, net::Decoder& d) {
+  const std::uint64_t round = d.get_varint();
+  const std::uint64_t nl = d.get_varint();
+  std::vector<std::uint64_t> frontier(nl, 0);
+  for (std::uint64_t i = 0; i < nl; ++i) frontier[i] = d.get_varint();
+  std::vector<InstanceId> ship;
+  for (const auto& [iid, inst] : instances_) {
+    if (inst.status != IStatus::kCommitted &&
+        inst.status != IStatus::kExecuted) {
+      continue;
+    }
+    const NodeId leader = iid_leader(iid);
+    if (leader < frontier.size() && iid_slot(iid) >= frontier[leader]) {
+      ship.push_back(iid);
+    }
+  }
+  std::sort(ship.begin(), ship.end());  // deterministic frame contents
+  // Chunked frames: varint count, count x instance, u8 done. An empty result
+  // still sends one done frame so the requester's catchup_needed latch
+  // clears.
+  std::size_t pos = 0;
+  do {
+    const std::size_t count =
+        std::min(ship.size() - pos, rsm::kCatchupChunkEntries);
+    net::Encoder e = env_.encoder();
+    e.put_varint(round);
+    e.put_varint(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const InstanceId iid = ship[pos + k];
+      const Instance& inst = instances_.at(iid);
+      encode_instance_msg(e, iid, inst.ballot, inst.cmd, inst.seq, inst.deps);
+    }
+    pos += count;
+    e.put_u8(pos == ship.size() ? 1 : 0);
+    env_.send(from, rt::kCatchupReplyType, std::move(e));
+    if (stats_ != nullptr) ++stats_->catchup_chunks;
+  } while (pos < ship.size());
+}
+
+void EPaxos::on_catchup_reply(NodeId /*from*/, net::Decoder& d) {
+  const std::uint64_t round = d.get_varint();
+  const std::uint64_t count = d.get_varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    InstanceMsg m = decode_instance_msg(d);
+    if (!is_committed(m.iid)) {
+      rec_.note_catchup_news();
+      if (stats_ != nullptr) ++stats_->catchup_commands;
+    }
+    // A coordinator of ours still in flight for this instance is obsolete —
+    // the decision is in; it must not push a dead ballot any further.
+    coord_.erase(m.iid);
+    apply_commit(m.iid, m.cmd, m.seq, std::move(m.deps));
+  }
+  if (d.get_u8() != 0 && round == rec_.catchup_round()) {
+    // Clears the latch only if the round in flight taught us nothing new;
+    // otherwise the next tick asks the next peer on the rotor, until a full
+    // round comes back news-free (see RecoveryDriver::finish_catchup_round).
+    rec_.finish_catchup_round();
+  }
 }
 
 // ---------------------------------------------------------------------------

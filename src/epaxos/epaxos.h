@@ -15,6 +15,16 @@
 //
 // Recovery is a simplified explicit-prepare sufficient for the paper's
 // single-crash experiment (see DESIGN.md for the documented simplification).
+//
+// Beyond the paper's fault-free evaluation, a rejoining replica runs
+// instance-space catch-up (extension): leader columns are dense (slots are
+// assigned from a per-leader counter), so the request summarizes local
+// knowledge as one committed-prefix frontier per leader and a live peer
+// streams every committed instance at/above each frontier in chunked frames.
+// Replay is apply_commit per instance — idempotent, maintains the
+// interference index and wakes blocked execution — so catch-up traffic
+// interleaves safely with live proposals. The rotor, progress watchdog and
+// failure-detector view live in the shared rt::RecoveryDriver.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include <vector>
 
 #include "runtime/protocol.h"
+#include "runtime/recovery_driver.h"
 #include "stats/protocol_stats.h"
 
 namespace caesar::epaxos {
@@ -40,6 +51,11 @@ struct EPaxosConfig {
   /// Stagger before recovering a suspected peer's instances.
   Time recovery_stagger_us = 50 * kMs;
   Time recovery_retry_us = 2 * kSec;
+  /// Progress-watchdog period: a stalled execution frontier with committable
+  /// backlog triggers instance catch-up from a live peer. 0 disables the
+  /// watchdog (unit tests drive the simulator to quiescence; the scenario
+  /// harness enables it for fault runs).
+  Time catchup_interval_us = 0;
 };
 
 class EPaxos final : public rt::Protocol {
@@ -47,9 +63,14 @@ class EPaxos final : public rt::Protocol {
   EPaxos(rt::Env& env, DeliverFn deliver, EPaxosConfig cfg,
          stats::ProtocolStats* stats);
 
+  void start() override;
+  void on_recover() override;
   void propose(rsm::Command cmd) override;
   void on_message(NodeId from, std::uint16_t type, net::Decoder& d) override;
   void on_node_suspected(NodeId peer) override;
+  void on_node_recovered(NodeId peer) override;
+  void on_catchup_request(NodeId from, net::Decoder& d) override;
+  void on_catchup_reply(NodeId from, net::Decoder& d) override;
   std::string_view name() const override { return "EPaxos"; }
 
   // --- introspection -------------------------------------------------------
@@ -137,6 +158,12 @@ class EPaxos final : public rt::Protocol {
   // --- recovery -----------------------------------------------------------------
   void start_recovery(InstanceId iid);
   void finish_recovery(InstanceId iid);
+  void catchup_tick();
+  void request_catchup();
+  /// Per-leader committed-prefix frontiers (first locally-uncommitted slot,
+  /// columns are dense from 1). Sets *any_hole when some leader has a
+  /// committed slot above its frontier — i.e. a commit below it was missed.
+  std::vector<std::uint64_t> committed_frontiers(bool* any_hole) const;
 
   EPaxosConfig cfg_;
   stats::ProtocolStats* stats_;
@@ -162,6 +189,14 @@ class EPaxos final : public rt::Protocol {
   /// Dependencies referenced but never seen locally (candidates for
   /// recovery if their leader dies).
   std::unordered_set<InstanceId> unknown_deps_;
+
+  /// Shared recovery machinery: failure-detector view, catch-up rotor and
+  /// progress watchdog (runtime/recovery_driver.h). The designated-revoker
+  /// round half is unused — EPaxos resolves a dead leader's instances per
+  /// instance via explicit prepare, not by range verdicts.
+  rt::RecoveryDriver rec_;
+  /// Execution-frontier proxy fed to the progress watchdog.
+  std::uint64_t executed_count_ = 0;
 };
 
 }  // namespace caesar::epaxos

@@ -18,8 +18,8 @@ Mencius::Mencius(rt::Env& env, DeliverFn deliver, MenciusConfig cfg,
       next_own_slot_(env.id()),
       floor_(env.cluster_size(), 0),
       floor_fence_(env.cluster_size(), 0),
-      revoked_(env.cluster_size(), false),
-      revoke_from_(env.cluster_size(), 0) {
+      rec_(env.id(), env.cluster_size(),
+           classic_quorum_size(env.cluster_size())) {
   for (NodeId q = 0; q < n_; ++q) floor_[q] = q;  // initial own slot of q
   dur_ = env.durability();
   if (dur_ != nullptr) {
@@ -41,26 +41,25 @@ void Mencius::on_recover() {
   // Restart the heartbeat and watchdog chains (in-memory timers died with
   // the crash).
   start();
-  // Drop every conclusion our failure detector reached before the crash:
-  // the peers we suspected (or revoked) may have rejoined and been
-  // retracted cluster-wide while we were down — those upcalls never reached
-  // us, and acting on the stale verdicts would skip slots the live cluster
-  // delivered. The detector re-reports genuinely dead peers within one
-  // timeout (Cluster::recover), and standing revocation decisions come back
-  // with our first catch-up reply.
-  suspected_mask_ = 0;
-  rounds_.clear();
-  for (NodeId q = 0; q < n_; ++q) {
-    revoked_[q] = false;
-    revoke_from_[q] = 0;
-  }
+  // Drop every *transient* conclusion our failure detector reached before
+  // the crash: the peers we suspected may have rejoined and been retracted
+  // cluster-wide while we were down — those upcalls never reached us, and
+  // acting on the stale suspicions would wedge revocation rounds against
+  // live peers. The detector re-reports genuinely dead peers within one
+  // timeout (Cluster::recover). Revoked slot RANGES are kept: they are
+  // quorum-backed verdicts about past slots, valid forever regardless of
+  // what the failure detector believes now (in-memory state survives a
+  // crash here; a restart-from-disk re-learns them from peers' advisory
+  // re-announces on the first catch-up).
+  rec_.reset_suspicions();
+  rec_.clear_rounds();
   // State transfer: slots committed by peers during the outage never reached
   // this node (their COMMITs were dropped with its queue), so fetch the
   // missed committed suffix from a live peer and replay it through normal
   // delivery. Until the final reply chunk arrives the watchdog keeps
   // retrying against rotating peers, so a crashed responder cannot strand
   // the rejoin.
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   // Arm the floor-rule fences: every peer's floor knowledge predating this
   // instant may refer to ACCEPTs that died in the outage, so floor skips
@@ -162,7 +161,7 @@ std::uint64_t Mencius::resend_history(NodeId peer) {
 }
 
 void Mencius::on_node_suspected(NodeId peer) {
-  suspected_mask_ |= 1ull << peer;
+  rec_.note_suspected(peer);
   // Revocation makes the cluster deliver *around* a node that never
   // returns; driven by one designated node so concurrent revokers cannot
   // reach different commit-vs-skip decisions for the same slot.
@@ -170,7 +169,15 @@ void Mencius::on_node_suspected(NodeId peer) {
 }
 
 void Mencius::on_node_recovered(NodeId peer) {
-  suspected_mask_ &= ~(1ull << peer);
+  // Clears the suspicion and voids any round still collecting against the
+  // peer: it is provably back with its state intact, so its own floors and
+  // re-proposals resolve its *future* slots again. Revoked ranges already
+  // decided against it stand — they are quorum-backed, and the acceptors
+  // that applied them permanently refuse acks inside the range, so clearing
+  // our copy here would only let this node diverge from them. The rejoined
+  // peer learns the range end from the first kSlotRevoked bounce and
+  // re-proposes above it.
+  rec_.note_recovered(peer);
   // The suspicion window was a hole in our link from this peer: we dropped
   // its re-announces and ignored its floors while an eventual revocation
   // round was in flight. Its floors therefore become trustworthy again only
@@ -178,11 +185,6 @@ void Mencius::on_node_recovered(NodeId peer) {
   // so old unresolved slots of this peer wait for a commit, the decision,
   // or catch-up instead of being floor-skipped.
   fence_pending_mask_ |= 1ull << peer;
-  // The peer is provably back with its state intact: its own floors and
-  // re-proposals resolve its slots again, so the revocation verdict (and any
-  // round still collecting) is void.
-  revoked_[peer] = false;
-  rounds_.erase(peer);
   // A rejoined peer missed our ACCEPTs (including any recovery re-announce
   // from before it was back): offer the still-uncommitted slots again, and
   // replay the recent commit window so slots it accepted just before its
@@ -246,7 +248,7 @@ void Mencius::note_floor(NodeId node, std::uint64_t floor) {
   // racing an in-flight revocation round: acting on them could floor-skip
   // slots the round is about to commit. Ignore until the FD retraction —
   // the suspicion clears within one detector delay of a real recovery.
-  if ((suspected_mask_ >> node) & 1) return;
+  if (rec_.is_suspected(node)) return;
   if ((fence_pending_mask_ >> node) & 1) {
     // First word from this owner since we rejoined: everything it proposes
     // from here on reaches us live, so its floor rule is sound again at and
@@ -268,16 +270,18 @@ void Mencius::handle_accept(NodeId from, net::Decoder& d) {
   // the cluster. Hold off — the decision resolves the slot, or the FD
   // retraction clears the suspicion and the proposer's periodic re-drive
   // (see catchup_tick) offers it again.
-  if ((suspected_mask_ >> from) & 1) return;
+  if (rec_.is_suspected(from)) return;
 
   // A slot this node has already resolved — delivered, proven skipped by
-  // catch-up, or covered by a revocation verdict against the sender — must
+  // catch-up, or inside a revoked range decided against the sender — must
   // not be re-acked: acks could let a stale rejoining proposer commit a slot
-  // part of the cluster has moved past. Re-send the commit when the slot
-  // resolved with a value, else bounce the proposer to a fresh slot.
-  const bool resolved =
-      slot < next_deliver_ || slot < skip_below_ ||
-      (revoked_[from] && slot >= revoke_from_[from]);
+  // part of the cluster has moved past. The range test is PERMANENT (it does
+  // not care whether the sender is suspected right now): at least a classic
+  // quorum applied the decision, so refusing forever is exactly what keeps
+  // any later ack quorum intersecting it. Re-send the commit when the slot
+  // resolved with a value, else bounce the proposer past the whole range.
+  const bool resolved = slot < next_deliver_ || slot < skip_below_ ||
+                        rec_.in_revoked_range(from, slot);
   if (resolved) {
     const rsm::Command* chosen = log_.find(slot);
     auto cit = committed_.find(slot);
@@ -291,7 +295,7 @@ void Mencius::handle_accept(NodeId from, net::Decoder& d) {
     } else {
       net::Encoder e = env_.encoder();
       e.put_varint(slot);
-      e.put_varint(next_deliver_);
+      e.put_varint(std::max(next_deliver_, rec_.revoked_through(from, slot)));
       env_.send(from, kSlotRevoked, std::move(e));
     }
     return;
@@ -403,9 +407,12 @@ void Mencius::try_deliver() {
       ++next_deliver_;  // owner skipped it (FIFO makes this sound, see floor_)
       continue;
     }
-    if (revoked_[owner] && next_deliver_ >= revoke_from_[owner]) {
+    if (rec_.in_revoked_range(owner, next_deliver_)) {
       // A revocation verdict resolved this slot: any surviving value was
       // committed by the decision (handled above), the rest are skipped.
+      // Permanent and unconditional — the acceptors that applied the
+      // decision refuse acks inside the range forever, so no value can be
+      // chosen for this slot later even if the owner rejoined.
       ++next_deliver_;
       continue;
     }
@@ -417,6 +424,13 @@ void Mencius::try_deliver() {
   if (dur_ != nullptr && next_deliver_ > dur_->frontier()) {
     dur_->record_frontier(next_deliver_);
   }
+  // Delivery may have consumed a standing verdict's runway: a bounded range
+  // only covers finitely many of the dead owner's slots, so the revoker must
+  // open the follow-up round *before* the frontier hits the range end or
+  // throughput stalls until the next watchdog tick. No-op unless this node
+  // is the revoker and a suspected owner's runway has dropped below half a
+  // round's grant (see maybe_start_revocations).
+  if (rec_.suspected_mask() != 0) maybe_start_revocations();
 }
 
 // ---------------------------------------------------------------------------
@@ -424,87 +438,43 @@ void Mencius::try_deliver() {
 // ---------------------------------------------------------------------------
 
 void Mencius::request_catchup() {
-  // Rotate over peers this node believes alive, so a crashed or lagging
-  // responder only costs one watchdog period.
-  for (std::size_t step = 0; step < n_; ++step) {
-    catchup_rotor_ = static_cast<NodeId>((catchup_rotor_ + 1) % n_);
-    if (catchup_rotor_ == env_.id()) continue;
-    if ((suspected_mask_ >> catchup_rotor_) & 1) continue;
+  rec_.request_catchup([this](NodeId peer) {
     if (stats_ != nullptr) ++stats_->catchup_requests;
-    send_catchup_request(catchup_rotor_, next_deliver_, log_.rolling_hash());
-    return;
-  }
+    send_catchup_request(peer, next_deliver_, log_.rolling_hash());
+  });
 }
 
 void Mencius::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
-  if (dur_ != nullptr && frontier < log_.base_index()) {
-    // The requester is behind this node's compaction horizon: the entries
-    // it needs were truncated with the covering snapshot. Serve the store
-    // snapshot at the *current* frontier instead (the durability mirror is
-    // exactly the delivered state); the requester installs it, then re-asks
-    // for the suffix above it through the normal chunked path.
-    send_catchup_snapshot(from, dur_->mirror_store(), next_deliver_,
-                          log_.rolling_hash(), dur_->delivered_count());
-    return;
-  }
-  // The prefix hash is only meaningful when this node has resolved at least
-  // as far as the requester: a lagging responder's log is simply shorter,
-  // not divergent. 0 marks "no comparison possible" for the requester.
-  const std::uint64_t prefix_hash =
-      frontier <= next_deliver_ ? log_.hash_below(frontier) : 0;
-  if (frontier <= next_deliver_ && prefix_hash != their_hash) {
-    log::error("mencius: node ", from, " requests catch-up from slot ",
-               frontier, " but our delivered prefixes disagree — replicas "
-               "have diverged");
-  }
-  std::uint64_t pos = frontier;
-  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
-  // chunk's* from — for chunk 2+ the requester's rolling hash has already
-  // absorbed the previous chunks' replay, so stamping the original request
-  // hash would trip the divergence check spuriously. Carried incrementally
-  // (each chunk's own entries fold into the next chunk's hash) so a long
-  // reply stays O(log) instead of O(chunks x log).
-  std::uint64_t running_hash = prefix_hash;
-  while (true) {
-    rsm::LogSnapshot chunk =
-        log_.suffix(pos, next_deliver_, rsm::kCatchupChunkEntries);
-    chunk.prefix_hash = running_hash;
-    if (running_hash != 0) {
-      for (const auto& [idx, c] : chunk.entries) {
-        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
-      }
-    }
-    if (chunk.done) {
-      // Commands committed here but not yet delivered ride along: their
-      // COMMIT broadcasts predate the requester's return and were lost.
-      for (const auto& [slot, cmd] : committed_) {
-        if (slot >= frontier) chunk.entries.emplace_back(slot, cmd);
-      }
-    }
-    net::Encoder e = env_.encoder();
-    chunk.encode(e);
-    env_.send(from, rt::kCatchupReplyType, std::move(e));
-    if (stats_ != nullptr) ++stats_->catchup_chunks;
-    if (chunk.done) break;
-    pos = chunk.through;
-  }
-  // Re-announce standing revocation verdicts so the requester resumes *live*
+  rt::RecoveryDriver::serve_log_catchup(
+      *this, log_, dur_, from, frontier, their_hash, next_deliver_,
+      [this, frontier](
+          std::vector<std::pair<std::uint64_t, rsm::Command>>& entries) {
+        // Commands committed here but not yet delivered ride along: their
+        // COMMIT broadcasts predate the requester's return and were lost.
+        for (const auto& [slot, cmd] : committed_) {
+          if (slot >= frontier) entries.emplace_back(slot, cmd);
+        }
+      },
+      stats_, "mencius");
+  // Re-announce standing revoked ranges so the requester resumes *live*
   // delivery past dead owners instead of trailing one catch-up per watchdog
   // tick. Resends are ADVISORY (authoritative=false): they grant the skip
-  // flag but never erase accepted state — only the original quorum-backed
+  // ranges but never erase accepted state — only the original quorum-backed
   // decision may do that, and its commits are covered here by the chunks
   // (delivered ones) and committed_ extras (undelivered ones) that FIFO
   // places ahead of this message.
   for (NodeId dead = 0; dead < n_; ++dead) {
-    if (!revoked_[dead]) continue;
-    net::Encoder e = env_.encoder();
-    e.put_u32(dead);
-    e.put_varint(revoke_from_[dead]);
-    e.put_bool(false);  // advisory
-    e.put_varint(0);    // no commits: everything below rode in the chunks
-    env_.send(from, kRevokeDecision, std::move(e));
+    for (const rt::RecoveryDriver::Range& r : rec_.revoked_ranges(dead)) {
+      net::Encoder e = env_.encoder();
+      e.put_u32(dead);
+      e.put_varint(r.from);
+      e.put_varint(r.upto);
+      e.put_bool(false);  // advisory
+      e.put_varint(0);    // no commits: everything below rode in the chunks
+      env_.send(from, kRevokeDecision, std::move(e));
+    }
   }
 }
 
@@ -525,7 +495,7 @@ void Mencius::on_catchup_reply(NodeId from, net::Decoder& d) {
   }
   if (chunk.through > skip_below_) skip_below_ = chunk.through;
   if (chunk.done) {
-    catchup_needed_ = false;
+    rec_.set_catchup_needed(false);
     // Our own slot counter is stale by the length of the outage; proposing
     // below the resolved bound would only bounce off kSlotRevoked replies.
     skip_own_slots_below(skip_below_);
@@ -573,7 +543,7 @@ void Mencius::on_catchup_snapshot(NodeId from, net::Decoder& d) {
   skip_own_slots_below(next_deliver_);
   env_.notify_snapshot_install(s.store, s.delivered_count);
   // Everything newer than the snapshot still has to come the normal way.
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   try_deliver();
 }
@@ -611,23 +581,17 @@ void Mencius::catchup_tick() {
   env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
   maybe_start_revocations();
   // Retry revocation rounds whose responders changed or whose traffic was
-  // lost: recompute who must answer (a responder may have crashed since)
-  // and ask again.
-  for (auto& [dead, round] : rounds_) {
-    if (env_.now() - round.last_query < cfg_.catchup_interval_us) continue;
-    std::uint64_t want = 0;
-    for (NodeId q = 0; q < n_; ++q) {
-      if (q != dead && ((suspected_mask_ >> q) & 1) == 0) want |= 1ull << q;
-    }
-    round.want_mask = want;
-    maybe_decide_revocation(dead);
-    if (rounds_.count(dead) == 0) break;  // decided; iterator invalidated
-    round.last_query = env_.now();
-    net::Encoder e = env_.encoder();
-    e.put_u32(dead);
-    e.put_varint(round.from);
-    env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
-  }
+  // lost: the driver recomputes who must answer (a responder may have
+  // crashed since), re-checks the decide gate, and re-queries survivors.
+  rec_.tick_rounds(
+      env_.now(), cfg_.catchup_interval_us,
+      [this](NodeId dead) { maybe_decide_revocation(dead); },
+      [this](NodeId dead, const rt::RecoveryDriver::Round& round) {
+        net::Encoder e = env_.encoder();
+        e.put_u32(dead);
+        e.put_varint(round.anchor);
+        env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
+      });
   drain_parked();
   // Re-drive pending slots that have gone a full watchdog period without
   // committing: their ACCEPTs may have been dropped by a crash on either
@@ -651,11 +615,8 @@ void Mencius::catchup_tick() {
   // (missed COMMITs, a revocation decision we were down for). Evidence of
   // being behind — commits or accepts queued above the frontier — gates the
   // request so an idle cluster stays quiet.
-  const bool stalled = next_deliver_ == last_deliver_mark_;
-  last_deliver_mark_ = next_deliver_;
-  if (catchup_needed_ ||
-      (stalled && (!committed_.empty() || !accepted_slots_.empty()))) {
-    catchup_needed_ = true;
+  if (rec_.watchdog_tick(next_deliver_,
+                         !committed_.empty() || !accepted_slots_.empty())) {
     request_catchup();
   }
 }
@@ -676,22 +637,23 @@ void Mencius::drain_parked() {
 // Dead-node slot revocation
 // ---------------------------------------------------------------------------
 
-NodeId Mencius::designated_revoker() const {
-  for (NodeId q = 0; q < n_; ++q) {
-    if (((suspected_mask_ >> q) & 1) == 0) return q;
-  }
-  return env_.id();
-}
+NodeId Mencius::designated_revoker() const { return rec_.designated_revoker(); }
 
 void Mencius::maybe_start_revocations() {
   if (designated_revoker() != env_.id()) return;
   // A revoker that is itself catching up would anchor the round at a stale
   // frontier and drag the whole delivered history into the reports; let the
   // watchdog start the round once state transfer finishes.
-  if (catchup_needed_) return;
+  if (rec_.catchup_needed()) return;
   for (NodeId dead = 0; dead < n_; ++dead) {
-    if (((suspected_mask_ >> dead) & 1) == 0) continue;
-    if (revoked_[dead] || rounds_.count(dead) != 0) continue;
+    if (!rec_.is_suspected(dead)) continue;
+    if (rec_.round_open(dead)) continue;
+    // Verdicts are bounded: one round resolves a finite slot range, so a
+    // still-dead owner needs a fresh round whenever the delivery frontier's
+    // remaining runway inside the standing coverage shrinks below half a
+    // round's grant (and immediately when no verdict covers the frontier).
+    const std::uint64_t covered = rec_.revoked_through(dead, next_deliver_);
+    if (covered - next_deliver_ >= kRevokeSlotsPerRound * n_ / 2) continue;
     start_revocation(dead);
   }
 }
@@ -716,21 +678,16 @@ void Mencius::collect_revoke_info(
 }
 
 void Mencius::start_revocation(NodeId dead) {
-  RevokeRound round;
-  round.from = next_deliver_;
-  round.last_query = env_.now();
-  for (NodeId q = 0; q < n_; ++q) {
-    if (q != dead && ((suspected_mask_ >> q) & 1) == 0) {
-      round.want_mask |= 1ull << q;
-    }
-  }
-  round.got_mask = 1ull << env_.id();
-  collect_revoke_info(dead, round.from, round.commits);
+  // Anchor past any standing coverage: slots below it are already resolved
+  // by an earlier verdict (or delivered), so re-deciding them would only
+  // bloat the reports.
+  const std::uint64_t from = rec_.revoked_through(dead, next_deliver_);
+  rt::RecoveryDriver::Round& round = rec_.open_round(dead, from, env_.now());
+  collect_revoke_info(dead, from, round.values);
   net::Encoder e = env_.encoder();
   e.put_u32(dead);
-  e.put_varint(round.from);
+  e.put_varint(from);
   env_.broadcast(kRevokeQuery, std::move(e), /*include_self=*/false);
-  rounds_.emplace(dead, std::move(round));
   maybe_decide_revocation(dead);
 }
 
@@ -754,50 +711,59 @@ void Mencius::handle_revoke_info(NodeId from, net::Decoder& d) {
   const NodeId dead = d.get_u32();
   const std::uint64_t qfrom = d.get_varint();
   const std::uint64_t count = d.get_varint();
-  auto it = rounds_.find(dead);
   // Decode fully even when the round is gone: the decoder owns the buffer.
   std::map<std::uint64_t, rsm::Command> reported;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t slot = d.get_varint();
     reported.emplace(slot, rsm::Command::decode(d));
   }
-  if (it == rounds_.end() || it->second.from != qfrom) return;
-  RevokeRound& round = it->second;
-  round.got_mask |= 1ull << from;
-  for (auto& [slot, cmd] : reported) round.commits.emplace(slot, std::move(cmd));
+  if (rec_.record_report(dead, qfrom, from, std::move(reported)) == nullptr) {
+    return;  // no open round, or a stale reply for a previous anchor
+  }
   maybe_decide_revocation(dead);
 }
 
 void Mencius::maybe_decide_revocation(NodeId dead) {
-  auto it = rounds_.find(dead);
-  if (it == rounds_.end()) return;
-  RevokeRound& round = it->second;
-  // Every peer believed alive must answer — a node that already applied an
-  // earlier (possibly partial) decision carries the precedent — and at
-  // least a classic quorum overall, so a minority partition cannot revoke.
-  if ((round.got_mask & round.want_mask) != round.want_mask) return;
-  if (static_cast<std::size_t>(std::popcount(round.got_mask)) < cq_) return;
+  // Decide gate (driver): every peer believed alive answered — a node that
+  // already applied an earlier (possibly partial) decision carries the
+  // precedent — and at least a classic quorum overall, so a minority
+  // partition cannot revoke.
+  if (!rec_.round_complete(dead)) return;
+  rt::RecoveryDriver::Round round = rec_.close_round(dead);
+
+  // Bound the verdict: resolve [anchor, upto) where upto reaches past
+  // everything the dead owner could have proposed before it went silent —
+  // every slot some reporter saw, and its own announced floor — plus
+  // kRevokeSlotsPerRound own-slots of runway so the cluster delivers freely
+  // for a while before the revoker must open a fresh round. Slots >= upto
+  // are NOT resolved by this verdict: if the owner rejoins it proposes
+  // there unharmed, and if it stays dead the next round covers them.
+  std::uint64_t upto = std::max(round.anchor, floor_[dead]);
+  if (!round.values.empty()) {
+    upto = std::max(upto, round.values.rbegin()->first + 1);
+  }
+  upto += kRevokeSlotsPerRound * n_;
 
   net::Encoder e = env_.encoder();
   e.put_u32(dead);
-  e.put_varint(round.from);
+  e.put_varint(round.anchor);
+  e.put_varint(upto);
   e.put_bool(true);  // authoritative: quorum-backed, may clear accepted state
-  e.put_varint(round.commits.size());
-  for (const auto& [slot, cmd] : round.commits) {
+  e.put_varint(round.values.size());
+  for (const auto& [slot, cmd] : round.values) {
     e.put_varint(slot);
     cmd.encode(e);
   }
   env_.broadcast(kRevokeDecision, std::move(e), /*include_self=*/false);
   if (stats_ != nullptr) ++stats_->revocations;
-  const std::uint64_t from = round.from;
-  std::map<std::uint64_t, rsm::Command> commits = std::move(round.commits);
-  rounds_.erase(it);
-  apply_revoke_decision(dead, from, std::move(commits), /*authoritative=*/true);
+  apply_revoke_decision(dead, round.anchor, upto, std::move(round.values),
+                        /*authoritative=*/true);
 }
 
 void Mencius::handle_revoke_decision(net::Decoder& d) {
   const NodeId dead = d.get_u32();
   const std::uint64_t from = d.get_varint();
+  const std::uint64_t upto = d.get_varint();
   const bool authoritative = d.get_bool();
   const std::uint64_t count = d.get_varint();
   std::map<std::uint64_t, rsm::Command> commits;
@@ -805,27 +771,28 @@ void Mencius::handle_revoke_decision(net::Decoder& d) {
     const std::uint64_t slot = d.get_varint();
     commits.emplace(slot, rsm::Command::decode(d));
   }
-  apply_revoke_decision(dead, from, std::move(commits), authoritative);
+  apply_revoke_decision(dead, from, upto, std::move(commits), authoritative);
 }
 
 void Mencius::apply_revoke_decision(
-    NodeId dead, std::uint64_t from,
+    NodeId dead, std::uint64_t from, std::uint64_t upto,
     std::map<std::uint64_t, rsm::Command> commits, bool authoritative) {
   for (auto& [slot, cmd] : commits) {
     pending_.erase(slot);
     if (slot >= next_deliver_) committed_.emplace(slot, std::move(cmd));
   }
-  // Accepted values the decision did not commit were seen by no quorum
-  // member and can never be chosen now (>= cq nodes apply this decision and
-  // refuse stale re-ACCEPTs, so the dead proposer cannot assemble a quorum
-  // behind the cluster's back): drop them so they stop blocking delivery.
-  // Only the original quorum-backed decision has that authority — an
-  // advisory resend reflects one peer's standing flag, and erasing on its
-  // word could drop a value the (possibly incomplete) original left to the
-  // normal commit/catch-up path.
+  // Accepted values in range the decision did not commit were seen by no
+  // quorum member and can never be chosen now (>= cq nodes apply this
+  // decision and permanently refuse re-ACCEPTs inside the range, so the
+  // dead proposer cannot assemble a quorum behind the cluster's back): drop
+  // them so they stop blocking delivery. Only the original quorum-backed
+  // decision has that authority — an advisory resend relays the verdict
+  // range but may predate commits the original left to the normal
+  // commit/catch-up path, and erasing on its word could drop such a value.
   if (authoritative) {
     for (auto ait = accepted_slots_.begin(); ait != accepted_slots_.end();) {
-      if (ait->first >= from && owner_of(ait->first) == dead &&
+      if (ait->first >= from && ait->first < upto &&
+          owner_of(ait->first) == dead &&
           committed_.count(ait->first) == 0 && ait->first >= next_deliver_) {
         ait = accepted_slots_.erase(ait);
       } else {
@@ -833,13 +800,34 @@ void Mencius::apply_revoke_decision(
       }
     }
   }
-  // Only honor the skip verdict while this node's own detector agrees the
-  // target is gone. If the retraction raced the decision here, the target
-  // is alive: its floors resolve its slots without any verdict, and a
-  // verdict flag would wrongly bounce its proposals forever.
-  if ((suspected_mask_ >> dead) & 1) {
-    if (!revoked_[dead] || from < revoke_from_[dead]) revoke_from_[dead] = from;
-    revoked_[dead] = true;
+  // Record the range as a PERMANENT fact, no suspicion gate: both the
+  // original decision and an advisory resend relay a quorum-backed verdict,
+  // and a node whose detector retracted early must still honor it — the
+  // seed-277 divergence was exactly a rejoined owner assembling an ack
+  // quorum from nodes that had dropped the verdict while others' frontiers
+  // had already skipped through it. The bound keeps permanence harmless for
+  // the live owner: only finitely many slots bounce, all below upto.
+  rec_.note_revoked_range(dead, from, upto);
+  if (dead == env_.id()) {
+    // The cluster revoked OUR slots while we were away. Every own slot in
+    // range was resolved commit-or-skip cluster-wide; commands still pending
+    // on slots the decision did not commit were skipped everywhere, so
+    // re-proposing them at fresh slots cannot double-deliver. Advisory
+    // resends cannot make that call (their commit list is empty by design),
+    // so they only fence the proposal counter; pending slots then resolve
+    // individually via kCommit re-sends or kSlotRevoked bounces.
+    if (authoritative) {
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->first >= from && it->first < upto &&
+            committed_.count(it->first) == 0) {
+          parked_.push_back(std::move(it->second.cmd));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    skip_own_slots_below(upto);
   }
   try_deliver();
 }
@@ -851,7 +839,7 @@ void Mencius::handle_resync_request(NodeId from) {
 void Mencius::handle_floor_sync(NodeId from, net::Decoder& d) {
   const std::uint64_t floor = d.get_varint();
   const std::uint64_t covered_from = d.get_varint();
-  if ((suspected_mask_ >> from) & 1) return;  // racing a revocation round
+  if (rec_.is_suspected(from)) return;  // racing a revocation round
   // The sender just finished re-offering every used slot of its history in
   // [covered_from, floor) on this link (FIFO), so the hole in our view of
   // it is patched from covered_from on: lower the fence to that bound.
@@ -901,8 +889,8 @@ void Mencius::on_message(NodeId from, std::uint16_t type, net::Decoder& d) {
       // counters upward indefinitely.
       if (floor > next_own_slot_ + 2 * n_) {
         skip_own_slots_below(floor);
-        if (!catchup_needed_) {
-          catchup_needed_ = true;
+        if (!rec_.catchup_needed()) {
+          rec_.set_catchup_needed(true);
           request_catchup();
         }
       }

@@ -25,7 +25,10 @@
 //     node's in-flight slots, commits any value some peer holds (safe:
 //     slots are single-proposer, so only one value was ever proposable) and
 //     resolves the rest as skipped, so delivery no longer wedges behind an
-//     owner that never returns.
+//     owner that never returns. Each verdict covers an explicit bounded
+//     slot range and is applied permanently by a quorum (see
+//     runtime/recovery_driver.h for why permanence is what makes it safe
+//     against the owner rejoining mid-retraction).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +40,7 @@
 
 #include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
+#include "runtime/recovery_driver.h"
 #include "stats/protocol_stats.h"
 
 namespace caesar::mencius {
@@ -75,7 +79,11 @@ class Mencius final : public rt::Protocol {
   std::uint64_t next_own_slot() const { return next_own_slot_; }
   std::uint64_t delivered_through() const { return next_deliver_; }
   std::uint64_t floor_of(NodeId node) const { return floor_[node]; }
-  bool is_revoked(NodeId node) const { return revoked_[node]; }
+  /// A revocation verdict stands against `node` (some slot range of its was
+  /// resolved commit-or-skip by a designated-revoker round).
+  bool is_revoked(NodeId node) const {
+    return !rec_.revoked_ranges(node).empty();
+  }
   const rsm::CommandLog& delivered_log() const { return log_; }
 
  private:
@@ -90,17 +98,6 @@ class Mencius final : public rt::Protocol {
     kSlotRevoked = 8,     // acceptor -> stale proposer: slot already resolved
     kResyncRequest = 9,   // retracted receiver -> rejoined peer: barrage again
     kFloorSync = 10,      // after a barrage: floor fully covered, lift fence
-  };
-
-  /// One open revocation round this node is driving as the designated
-  /// revoker. Responses are required from every peer the revoker believes
-  /// alive, and at least a classic quorum overall, before deciding.
-  struct RevokeRound {
-    std::uint64_t from = 0;       // resolve the dead node's slots >= this
-    std::uint64_t want_mask = 0;  // responders required (self included)
-    std::uint64_t got_mask = 0;
-    std::map<std::uint64_t, rsm::Command> commits;
-    Time last_query = 0;
   };
 
   void handle_accept(NodeId from, net::Decoder& d);
@@ -140,6 +137,7 @@ class Mencius final : public rt::Protocol {
   void start_revocation(NodeId dead);
   void maybe_decide_revocation(NodeId dead);
   void apply_revoke_decision(NodeId dead, std::uint64_t from,
+                             std::uint64_t upto,
                              std::map<std::uint64_t, rsm::Command> commits,
                              bool authoritative);
   void drain_parked();
@@ -212,20 +210,18 @@ class Mencius final : public rt::Protocol {
   /// this is delivered-or-skipped, so slots under it that are not in
   /// committed_ are skipped without waiting on their owner.
   std::uint64_t skip_below_ = 0;
-  /// A catch-up request is outstanding (set on rejoin and on detected
-  /// frontier stalls; cleared by the final reply chunk). The watchdog
-  /// retries from rotating peers while set.
-  bool catchup_needed_ = false;
-  NodeId catchup_rotor_ = 0;
-  std::uint64_t last_deliver_mark_ = 0;  // frontier at the last watchdog tick
 
-  /// Failure-detector view: nodes currently suspected by this node.
-  std::uint64_t suspected_mask_ = 0;
-  /// revoked_[q]: a revocation decision resolved q's slots >= revoke_from_[q]
-  /// (commit-or-skip); cleared when q provably returns (FD retraction).
-  std::vector<bool> revoked_;
-  std::vector<std::uint64_t> revoke_from_;
-  std::unordered_map<NodeId, RevokeRound> rounds_;
+  /// Shared recovery machinery: failure-detector view, catch-up rotor and
+  /// progress watchdog, designated-revoker rounds, and the permanently
+  /// revoked slot ranges those rounds decide (runtime/recovery_driver.h).
+  rt::RecoveryDriver rec_;
+  /// Slots-per-owner granularity of one revocation verdict: a round resolves
+  /// the dead owner's slots up to kRevokeSlotsPerRound own-slots past the
+  /// highest slot any reporter knew of, so the bounded range gives the
+  /// cluster runway before the revoker must open a fresh round (try_deliver
+  /// opens it once half the grant is consumed, so delivery throughput during
+  /// an outage is gated on round latency, not on the watchdog period).
+  static constexpr std::uint64_t kRevokeSlotsPerRound = 1024;
   /// Own commands bounced off already-revoked slots, re-proposed at fresh
   /// slots by the watchdog (throttled so a not-yet-retracted rejoiner does
   /// not busy-loop against peers still rejecting it).

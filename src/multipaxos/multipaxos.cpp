@@ -10,7 +10,11 @@ namespace caesar::mpaxos {
 
 MultiPaxos::MultiPaxos(rt::Env& env, DeliverFn deliver, MultiPaxosConfig cfg,
                        stats::ProtocolStats* stats)
-    : rt::Protocol(env, std::move(deliver)), cfg_(cfg), stats_(stats) {
+    : rt::Protocol(env, std::move(deliver)),
+      cfg_(cfg),
+      stats_(stats),
+      rec_(env.id(), env.cluster_size(),
+           classic_quorum_size(env.cluster_size())) {
   dur_ = env.durability();
   if (dur_ != nullptr) {
     dur_->set_stats(stats_);
@@ -132,7 +136,8 @@ void MultiPaxos::rebroadcast_pending() {
 
 void MultiPaxos::on_recover() {
   start();  // the watchdog timer died with the crash
-  suspected_mask_ = 0;  // stale FD view; the detector re-reports within one timeout
+  // Stale FD view; the detector re-reports within one timeout.
+  rec_.reset_suspicions();
   if (!is_leader()) {
     // State transfer: fetch the committed indices this replica missed from a
     // live peer and replay them in order — the log resumes with *no* gap.
@@ -140,7 +145,7 @@ void MultiPaxos::on_recover() {
     // where every catch-up attempt failed (it should never fire now that
     // the watchdog retries against rotating peers).
     resync_ = true;
-    catchup_needed_ = true;
+    rec_.set_catchup_needed(true);
     request_catchup();
     env_.set_timer(cfg_.resync_grace_us, [this] {
       if (!resync_) return;
@@ -164,7 +169,7 @@ void MultiPaxos::on_recover() {
   // leader's own delivery frontier also lags by the outage: entries the
   // cluster learned only through the ring were delivered nowhere, but any
   // delivered state a follower holds comes back through catch-up.
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   for (auto& [index, p] : pending_) {
     p.ack_mask = 1ull << env_.id();
@@ -187,11 +192,11 @@ void MultiPaxos::replay_recent_commits(NodeId peer) {
 }
 
 void MultiPaxos::on_node_suspected(NodeId peer) {
-  suspected_mask_ |= 1ull << peer;
+  rec_.note_suspected(peer);
 }
 
 void MultiPaxos::on_node_recovered(NodeId peer) {
-  suspected_mask_ &= ~(1ull << peer);
+  rec_.note_recovered(peer);
   if (!is_leader()) {
     // The recovered leader's queue dropped our forwards sent while it was
     // down: re-forward everything still outstanding (led_ids_ dedups the
@@ -219,68 +224,25 @@ void MultiPaxos::on_node_recovered(NodeId peer) {
 // ---------------------------------------------------------------------------
 
 void MultiPaxos::request_catchup() {
-  for (std::size_t step = 0; step < env_.cluster_size(); ++step) {
-    catchup_rotor_ =
-        static_cast<NodeId>((catchup_rotor_ + 1) % env_.cluster_size());
-    if (catchup_rotor_ == env_.id()) continue;
-    if ((suspected_mask_ >> catchup_rotor_) & 1) continue;
+  rec_.request_catchup([this](NodeId peer) {
     if (stats_ != nullptr) ++stats_->catchup_requests;
-    send_catchup_request(catchup_rotor_, deliver_next_, log_.rolling_hash());
-    return;
-  }
+    send_catchup_request(peer, deliver_next_, log_.rolling_hash());
+  });
 }
 
 void MultiPaxos::on_catchup_request(NodeId from, net::Decoder& d) {
   const std::uint64_t frontier = d.get_varint();
   const std::uint64_t their_hash = d.get_u64();
-  if (dur_ != nullptr && frontier < log_.base_index()) {
-    // Requester is behind our compaction horizon — the log prefix it needs
-    // was truncated with the covering snapshot. Serve the store snapshot at
-    // the current frontier (the durability mirror is the delivered state);
-    // it re-asks for the remaining suffix through the chunked path.
-    send_catchup_snapshot(from, dur_->mirror_store(), deliver_next_,
-                          log_.rolling_hash(), dur_->delivered_count());
-    return;
-  }
-  // The prefix hash is only meaningful when this node has resolved at least
-  // as far as the requester: a lagging responder's log is simply shorter,
-  // not divergent. 0 marks "no comparison possible" for the requester.
-  const std::uint64_t prefix_hash =
-      frontier <= deliver_next_ ? log_.hash_below(frontier) : 0;
-  if (frontier <= deliver_next_ && prefix_hash != their_hash) {
-    log::error("multipaxos: node ", from, " requests catch-up from index ",
-               frontier, " but our delivered prefixes disagree — replicas "
-               "have diverged");
-  }
-  std::uint64_t pos = frontier;
-  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
-  // chunk's* from — for chunk 2+ the requester's rolling hash has already
-  // absorbed the previous chunks' replay, so stamping the original request
-  // hash would trip the divergence check spuriously. Carried incrementally
-  // (each chunk's own entries fold into the next chunk's hash) so a long
-  // reply stays O(log) instead of O(chunks x log).
-  std::uint64_t running_hash = prefix_hash;
-  while (true) {
-    rsm::LogSnapshot chunk =
-        log_.suffix(pos, deliver_next_, rsm::kCatchupChunkEntries);
-    chunk.prefix_hash = running_hash;
-    if (running_hash != 0) {
-      for (const auto& [idx, c] : chunk.entries) {
-        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
-      }
-    }
-    if (chunk.done) {
-      for (const auto& [index, cmd] : committed_) {
-        if (index >= frontier) chunk.entries.emplace_back(index, cmd);
-      }
-    }
-    net::Encoder e = env_.encoder();
-    chunk.encode(e);
-    env_.send(from, rt::kCatchupReplyType, std::move(e));
-    if (stats_ != nullptr) ++stats_->catchup_chunks;
-    if (chunk.done) break;
-    pos = chunk.through;
-  }
+  rt::RecoveryDriver::serve_log_catchup(
+      *this, log_, dur_, from, frontier, their_hash, deliver_next_,
+      [this, frontier](
+          std::vector<std::pair<std::uint64_t, rsm::Command>>& entries) {
+        // Committed-but-undelivered indices ride along on the final chunk.
+        for (const auto& [index, cmd] : committed_) {
+          if (index >= frontier) entries.emplace_back(index, cmd);
+        }
+      },
+      stats_, "multipaxos");
 }
 
 void MultiPaxos::on_catchup_reply(NodeId from, net::Decoder& d) {
@@ -299,7 +261,7 @@ void MultiPaxos::on_catchup_reply(NodeId from, net::Decoder& d) {
     }
   }
   if (chunk.done) {
-    catchup_needed_ = false;
+    rec_.set_catchup_needed(false);
     resync_ = false;  // the gap is resolved; the backstop need not jump
   }
   try_deliver();
@@ -322,7 +284,7 @@ void MultiPaxos::on_catchup_snapshot(NodeId from, net::Decoder& d) {
   committed_.erase(committed_.begin(), committed_.lower_bound(deliver_next_));
   env_.notify_snapshot_install(s.store, s.delivered_count);
   resync_ = false;  // no gap left below the installed frontier
-  catchup_needed_ = true;
+  rec_.set_catchup_needed(true);
   request_catchup();
   try_deliver();
 }
@@ -351,13 +313,10 @@ void MultiPaxos::on_restore(storage::RecoveredState& st) {
 
 void MultiPaxos::catchup_tick() {
   env_.set_timer(cfg_.catchup_interval_us, [this] { catchup_tick(); });
-  const bool stalled = deliver_next_ == last_deliver_mark_;
-  last_deliver_mark_ = deliver_next_;
   // Commits queued above a stalled watermark mean this replica missed the
   // indices in between (their COMMITs were dropped while it was down or
   // partitioned): fetch them instead of waiting for the grace backstop.
-  if (catchup_needed_ || (stalled && !committed_.empty())) {
-    catchup_needed_ = true;
+  if (rec_.watchdog_tick(deliver_next_, !committed_.empty())) {
     request_catchup();
   }
 }

@@ -24,6 +24,7 @@
 
 #include "rsm/log_snapshot.h"
 #include "runtime/protocol.h"
+#include "runtime/recovery_driver.h"
 #include "stats/protocol_stats.h"
 
 namespace caesar::mpaxos {
@@ -121,11 +122,10 @@ class MultiPaxos final : public rt::Protocol {
   /// Set by on_recover: an outage gap is suspected until the catch-up reply
   /// (or the grace-period backstop) resolves it.
   bool resync_ = false;
-  bool catchup_needed_ = false;
-  NodeId catchup_rotor_ = 0;
-  std::uint64_t last_deliver_mark_ = 0;
-  /// Failure-detector view, for catch-up peer selection.
-  std::uint64_t suspected_mask_ = 0;
+  /// Shared recovery machinery: failure-detector view, catch-up rotor and
+  /// progress watchdog (runtime/recovery_driver.h). The revocation half is
+  /// unused — leader election is out of scope here.
+  rt::RecoveryDriver rec_;
 
   /// Recent own commits (leader only), re-announced by on_recover: a COMMIT
   /// in flight when the leader crashed was dropped at every learner, which

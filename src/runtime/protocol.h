@@ -199,6 +199,11 @@ class Protocol {
 
   Env& env_;
   DeliverFn deliver_;
+
+ private:
+  /// The shared recovery driver serves chunked log catch-up on a protocol's
+  /// behalf (runtime/recovery_driver.h) and needs the snapshot send helper.
+  friend class RecoveryDriver;
 };
 
 }  // namespace caesar::rt

@@ -1,0 +1,217 @@
+#include "runtime/recovery_driver.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "runtime/protocol.h"
+#include "stats/protocol_stats.h"
+#include "storage/durability.h"
+
+namespace caesar::rt {
+
+bool RecoveryDriver::request_catchup(
+    const std::function<void(NodeId peer)>& send) {
+  // Rotate over peers this node believes alive, so a crashed or lagging
+  // responder only costs one watchdog period.
+  catchup_news_ = 0;
+  ++catchup_round_;
+  for (std::size_t step = 0; step < n_; ++step) {
+    rotor_ = static_cast<NodeId>((rotor_ + 1) % n_);
+    if (rotor_ == self_) continue;
+    if (is_suspected(rotor_)) continue;
+    send(rotor_);
+    return true;
+  }
+  return false;
+}
+
+bool RecoveryDriver::watchdog_tick(std::uint64_t frontier, bool backlog) {
+  const bool stalled = frontier == last_mark_;
+  last_mark_ = frontier;
+  if (catchup_needed_ || (stalled && backlog)) {
+    catchup_needed_ = true;
+    return true;
+  }
+  return false;
+}
+
+NodeId RecoveryDriver::designated_revoker() const {
+  for (NodeId q = 0; q < n_; ++q) {
+    if (!is_suspected(q)) return q;
+  }
+  return self_;
+}
+
+RecoveryDriver::Round& RecoveryDriver::open_round(NodeId dead,
+                                                  std::uint64_t anchor,
+                                                  Time now) {
+  Round round;
+  round.anchor = anchor;
+  round.last_query = now;
+  for (NodeId q = 0; q < n_; ++q) {
+    if (q != dead && !is_suspected(q)) round.want_mask |= 1ull << q;
+  }
+  round.got_mask = 1ull << self_;
+  return rounds_.insert_or_assign(dead, std::move(round)).first->second;
+}
+
+RecoveryDriver::Round* RecoveryDriver::record_report(
+    NodeId dead, std::uint64_t anchor, NodeId from,
+    std::map<std::uint64_t, rsm::Command> reported) {
+  auto it = rounds_.find(dead);
+  if (it == rounds_.end() || it->second.anchor != anchor) return nullptr;
+  Round& round = it->second;
+  round.got_mask |= 1ull << from;
+  for (auto& [index, cmd] : reported) {
+    round.values.emplace(index, std::move(cmd));
+  }
+  return &round;
+}
+
+bool RecoveryDriver::round_complete(NodeId dead) const {
+  auto it = rounds_.find(dead);
+  if (it == rounds_.end()) return false;
+  const Round& round = it->second;
+  if ((round.got_mask & round.want_mask) != round.want_mask) return false;
+  return static_cast<std::size_t>(std::popcount(round.got_mask)) >= cq_;
+}
+
+RecoveryDriver::Round RecoveryDriver::close_round(NodeId dead) {
+  auto it = rounds_.find(dead);
+  Round round = std::move(it->second);
+  rounds_.erase(it);
+  return round;
+}
+
+void RecoveryDriver::tick_rounds(
+    Time now, Time period, const std::function<void(NodeId dead)>& try_decide,
+    const std::function<void(NodeId dead, const Round&)>& requery) {
+  // Snapshot the keys: try_decide may close (erase) the round it decides.
+  std::vector<NodeId> deads;
+  deads.reserve(rounds_.size());
+  for (const auto& [dead, round] : rounds_) deads.push_back(dead);
+  for (NodeId dead : deads) {
+    auto it = rounds_.find(dead);
+    if (it == rounds_.end()) continue;
+    if (now - it->second.last_query < period) continue;
+    // Recompute who must answer — a responder may have crashed since — and
+    // re-check the gate before asking again.
+    std::uint64_t want = 0;
+    for (NodeId q = 0; q < n_; ++q) {
+      if (q != dead && !is_suspected(q)) want |= 1ull << q;
+    }
+    it->second.want_mask = want;
+    try_decide(dead);
+    it = rounds_.find(dead);
+    if (it == rounds_.end()) continue;  // decided and closed
+    it->second.last_query = now;
+    requery(dead, it->second);
+  }
+}
+
+void RecoveryDriver::note_revoked_range(NodeId owner, std::uint64_t from,
+                                        std::uint64_t upto) {
+  if (upto <= from) return;
+  if (ranges_.size() < n_) ranges_.resize(n_);
+  std::vector<Range>& rs = ranges_[owner];
+  rs.push_back(Range{from, upto});
+  std::sort(rs.begin(), rs.end(),
+            [](const Range& a, const Range& b) { return a.from < b.from; });
+  // Merge overlapping/adjacent ranges so lookups stay a short linear scan.
+  std::vector<Range> merged;
+  for (const Range& r : rs) {
+    if (!merged.empty() && r.from <= merged.back().upto) {
+      merged.back().upto = std::max(merged.back().upto, r.upto);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  rs = std::move(merged);
+}
+
+bool RecoveryDriver::in_revoked_range(NodeId owner, std::uint64_t index) const {
+  if (owner >= ranges_.size()) return false;
+  for (const Range& r : ranges_[owner]) {
+    if (index >= r.from && index < r.upto) return true;
+  }
+  return false;
+}
+
+std::uint64_t RecoveryDriver::revoked_through(NodeId owner,
+                                              std::uint64_t index) const {
+  if (owner >= ranges_.size()) return index;
+  std::uint64_t at = index;
+  // Ranges are disjoint and ascending; chase across adjacency just in case
+  // a future merge policy leaves touching ranges unmerged.
+  for (const Range& r : ranges_[owner]) {
+    if (at >= r.from && at < r.upto) at = r.upto;
+  }
+  return at;
+}
+
+const std::vector<RecoveryDriver::Range>& RecoveryDriver::revoked_ranges(
+    NodeId owner) const {
+  static const std::vector<Range> kEmpty;
+  if (owner >= ranges_.size()) return kEmpty;
+  return ranges_[owner];
+}
+
+void RecoveryDriver::serve_log_catchup(
+    Protocol& self, const rsm::CommandLog& log, storage::Durability* dur,
+    NodeId from, std::uint64_t frontier, std::uint64_t their_hash,
+    std::uint64_t resolved_through,
+    const std::function<
+        void(std::vector<std::pair<std::uint64_t, rsm::Command>>&)>&
+        append_extras,
+    stats::ProtocolStats* stats, const char* who) {
+  Env& env = self.env_;
+  if (dur != nullptr && frontier < log.base_index()) {
+    // The requester is behind this node's compaction horizon: the entries
+    // it needs were truncated with the covering snapshot. Serve the store
+    // snapshot at the *current* frontier instead (the durability mirror is
+    // exactly the delivered state); the requester installs it, then re-asks
+    // for the suffix above it through the normal chunked path.
+    self.send_catchup_snapshot(from, dur->mirror_store(), resolved_through,
+                               log.rolling_hash(), dur->delivered_count());
+    return;
+  }
+  // The prefix hash is only meaningful when this node has resolved at least
+  // as far as the requester: a lagging responder's log is simply shorter,
+  // not divergent. 0 marks "no comparison possible" for the requester.
+  const std::uint64_t prefix_hash =
+      frontier <= resolved_through ? log.hash_below(frontier) : 0;
+  if (frontier <= resolved_through && prefix_hash != their_hash) {
+    log::error(who, ": node ", from, " requests catch-up from index ",
+               frontier,
+               " but our delivered prefixes disagree — replicas have "
+               "diverged");
+  }
+  std::uint64_t pos = frontier;
+  // Per-chunk hash: LogSnapshot::prefix_hash covers the entries below *this
+  // chunk's* from — for chunk 2+ the requester's rolling hash has already
+  // absorbed the previous chunks' replay, so stamping the original request
+  // hash would trip the divergence check spuriously. Carried incrementally
+  // (each chunk's own entries fold into the next chunk's hash) so a long
+  // reply stays O(log) instead of O(chunks x log).
+  std::uint64_t running_hash = prefix_hash;
+  while (true) {
+    rsm::LogSnapshot chunk =
+        log.suffix(pos, resolved_through, rsm::kCatchupChunkEntries);
+    chunk.prefix_hash = running_hash;
+    if (running_hash != 0) {
+      for (const auto& [idx, c] : chunk.entries) {
+        running_hash = rsm::CommandLog::mix(running_hash, idx, c.id);
+      }
+    }
+    if (chunk.done) append_extras(chunk.entries);
+    net::Encoder e = env.encoder();
+    chunk.encode(e);
+    env.send(from, kCatchupReplyType, std::move(e));
+    if (stats != nullptr) ++stats->catchup_chunks;
+    if (chunk.done) break;
+    pos = chunk.through;
+  }
+}
+
+}  // namespace caesar::rt

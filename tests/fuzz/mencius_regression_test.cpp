@@ -1,16 +1,18 @@
-// Committed repro of a known Mencius divergence found by the fault-schedule
-// fuzzer (fault_fuzz_test.cpp) at seed 277: a transient crash of node 4
-// overlapping two link partitions (3-2 and 2-0). Node 2 spends the crash
-// window cut off from both sides of the cluster while node 4's slots are
-// being revoked, and its post-heal resync can sweep an accept that the
-// revocation round later resurrects on the other nodes — the logs end up
-// order-consistent but not equal.
+// Committed repro of a Mencius divergence found by the fault-schedule fuzzer
+// (fault_fuzz_test.cpp) at seed 277: a transient crash of node 4 overlapping
+// two link partitions (3-2 and 2-0).
 //
-// DISABLED_ until the triple-fault resync/revocation interleaving is fixed
-// (ROADMAP item): run it explicitly with
-//   ./caesar_fuzz_tests --gtest_also_run_disabled_tests \
-//       --gtest_filter='*TripleFaultSeed277*'
-// and promote it to an always-on regression once it passes.
+// Root cause (fixed by the bounded revoked ranges in
+// runtime/recovery_driver.h): revocation verdicts used to be unbounded
+// ("skip all of node 4's slots >= its frontier") and were cleared
+// unilaterally at each node's failure-detector retraction. Rejoined node 4
+// proposed a fresh slot; nodes 0/1 skipped it through their still-standing
+// verdict before their retraction, while nodes 2/3 — whose verdicts had
+// already cleared — acked it, letting node 4 commit a slot half the cluster
+// had irreversibly skipped. The logs ended up order-consistent but not
+// equal. Verdicts are now explicit [from, upto) ranges applied permanently
+// by a quorum, so any later ack quorum intersects a node that refuses the
+// revoked slot, and slots above the bound are never verdict-skipped.
 #include <gtest/gtest.h>
 
 #include "harness/consistency_checker.h"
@@ -22,7 +24,7 @@ namespace {
 using caesar::testing::check_cluster_consistency;
 using caesar::testing::ConsistencyOptions;
 
-TEST(MenciusFuzzRegression, DISABLED_TripleFaultSeed277) {
+TEST(MenciusFuzzRegression, TripleFaultSeed277) {
   // Schedule reproduced verbatim from the fuzzer's repro line:
   //   protocol=Mencius seed=277 schedule=[ crash(4,1574-1974ms)
   //   part(3-2,2027-2569ms) part(2-0,1602-1804ms) ]

@@ -110,6 +110,29 @@ TEST(DeterminismTest, CrashLongSameSeedSameJson) {
   }
 }
 
+TEST(DeterminismTest, CrashLongInstanceCatchupSameSeedSameJson) {
+  // Instance-space catch-up (CAESAR/EPaxos rejoin) adds watchdog timers,
+  // rotor rotation and chunked replay to the event stream; all of it must
+  // stay a pure function of the seed.
+  for (ProtocolKind kind : {ProtocolKind::kCaesar, ProtocolKind::kEPaxos}) {
+    auto run = [&] {
+      Scenario s = make_scenario("crash-long");
+      s.protocol = kind;
+      s.caesar.gossip_interval_us = 200 * kMs;
+      s.caesar.catchup_interval_us = 250 * kMs;
+      s.epaxos.catchup_interval_us = 250 * kMs;
+      RunReport r = run_scenario(s);
+      r.provenance.build = "";  // modulo provenance
+      return to_json(r);
+    };
+    const std::string a = run();
+    const std::string b = run();
+    EXPECT_EQ(a, b) << "protocol kind " << static_cast<int>(kind);
+    EXPECT_NE(a.find("\"consistent\":true"), std::string::npos);
+    EXPECT_NE(a.find("\"catchup_requests\":"), std::string::npos);
+  }
+}
+
 TEST(DeterminismTest, DeadNodeSameSeedSameJson) {
   for (ProtocolKind kind : {ProtocolKind::kMencius, ProtocolKind::kClockRsm}) {
     const std::string a = recovery_scenario_json("dead-node", kind);

@@ -1,0 +1,185 @@
+// Unit tests for the shared recovery driver: the catch-up rotor, the
+// progress watchdog (including the news-free-round convergence policy for
+// instance-space catch-up), designated-revoker rounds, and the permanently
+// revoked index ranges. The end-to-end behaviour is proven by the scenario
+// and fuzz suites; these pin the driver's contract in isolation.
+#include "runtime/recovery_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace caesar::rt {
+namespace {
+
+TEST(RecoveryDriverTest, RotorRotatesAndSkipsSuspectedPeers) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  std::vector<NodeId> asked;
+  auto send = [&](NodeId peer) { asked.push_back(peer); };
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rec.request_catchup(send));
+  // Round-robin over everyone but self.
+  EXPECT_EQ(asked, (std::vector<NodeId>{1, 2, 3, 4}));
+
+  asked.clear();
+  rec.note_suspected(2);
+  rec.note_suspected(3);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rec.request_catchup(send));
+  // Suspected peers drop out of the rotation until they recover.
+  EXPECT_EQ(asked, (std::vector<NodeId>{1, 4, 1, 4}));
+
+  asked.clear();
+  rec.note_recovered(2);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(rec.request_catchup(send));
+  EXPECT_EQ(asked, (std::vector<NodeId>{1, 2, 4}));
+}
+
+TEST(RecoveryDriverTest, RotorReportsNoLivePeer) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/3, /*cq=*/2);
+  rec.note_suspected(1);
+  rec.note_suspected(2);
+  bool sent = false;
+  EXPECT_FALSE(rec.request_catchup([&](NodeId) { sent = true; }));
+  EXPECT_FALSE(sent);
+}
+
+TEST(RecoveryDriverTest, WatchdogLatchesOnStallWithBacklogOnly) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  // Advancing frontier: quiet regardless of backlog.
+  EXPECT_FALSE(rec.watchdog_tick(1, true));
+  EXPECT_FALSE(rec.watchdog_tick(2, true));
+  // Stalled but no backlog: an idle cluster stays quiet.
+  EXPECT_FALSE(rec.watchdog_tick(2, false));
+  // Stalled with backlog: latch, and keep firing every tick while latched —
+  // even if the frontier inches forward (replayed catch-up traffic) the
+  // request repeats until the protocol clears the latch.
+  EXPECT_TRUE(rec.watchdog_tick(2, true));
+  EXPECT_TRUE(rec.catchup_needed());
+  EXPECT_TRUE(rec.watchdog_tick(3, false));
+  rec.set_catchup_needed(false);
+  EXPECT_FALSE(rec.watchdog_tick(4, false));
+}
+
+TEST(RecoveryDriverTest, NewsFreeRoundPolicyClearsLatchOnlyWhenRoundTaughtNothing) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.set_catchup_needed(true);
+  auto noop = [](NodeId) {};
+
+  // Round 1: the reply taught us something — the latch must survive so the
+  // next tick rotates to another peer.
+  EXPECT_TRUE(rec.request_catchup(noop));
+  rec.note_catchup_news();
+  rec.finish_catchup_round();
+  EXPECT_TRUE(rec.catchup_needed());
+
+  // Round 2: news-free — now the latch clears.
+  EXPECT_TRUE(rec.request_catchup(noop));
+  rec.finish_catchup_round();
+  EXPECT_FALSE(rec.catchup_needed());
+}
+
+TEST(RecoveryDriverTest, RoundIdFencesStaleDoneFrames) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.set_catchup_needed(true);
+  auto noop = [](NodeId) {};
+
+  rec.request_catchup(noop);
+  const std::uint64_t round1 = rec.catchup_round();
+  rec.note_catchup_news();  // round 1 taught us something
+
+  rec.request_catchup(noop);  // round 2 resets the tally
+  const std::uint64_t round2 = rec.catchup_round();
+  EXPECT_NE(round1, round2);
+
+  // A late done frame from round 1 arrives after round 2 reset the tally:
+  // the protocol must drop it (round id mismatch). Were it processed, the
+  // news-free check would clear the latch even though round 1 had news.
+  if (round1 == rec.catchup_round()) rec.finish_catchup_round();
+  EXPECT_TRUE(rec.catchup_needed());
+
+  // Round 2's own news-free done frame clears it.
+  if (round2 == rec.catchup_round()) rec.finish_catchup_round();
+  EXPECT_FALSE(rec.catchup_needed());
+}
+
+TEST(RecoveryDriverTest, DesignatedRevokerIsLowestNonSuspected) {
+  RecoveryDriver rec(/*self=*/3, /*n=*/5, /*cq=*/3);
+  EXPECT_EQ(rec.designated_revoker(), 0u);
+  rec.note_suspected(0);
+  rec.note_suspected(1);
+  EXPECT_EQ(rec.designated_revoker(), 2u);
+  rec.note_suspected(2);
+  rec.note_suspected(3);
+  rec.note_suspected(4);
+  // Everyone suspected: fall back to self.
+  EXPECT_EQ(rec.designated_revoker(), 3u);
+}
+
+TEST(RecoveryDriverTest, RoundGateRequiresEveryWantedResponderAndQuorum) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.note_suspected(2);  // dead node under revocation
+  rec.open_round(/*dead=*/2, /*anchor=*/10, /*now=*/0);
+  EXPECT_TRUE(rec.round_open(2));
+  EXPECT_FALSE(rec.round_complete(2));
+
+  EXPECT_NE(rec.record_report(2, 10, 1, {}), nullptr);
+  EXPECT_FALSE(rec.round_complete(2));  // 3 and 4 still owed
+  EXPECT_NE(rec.record_report(2, 10, 3, {}), nullptr);
+  EXPECT_FALSE(rec.round_complete(2));
+  EXPECT_NE(rec.record_report(2, 10, 4, {}), nullptr);
+  EXPECT_TRUE(rec.round_complete(2));
+
+  const RecoveryDriver::Round round = rec.close_round(2);
+  EXPECT_EQ(round.anchor, 10u);
+  EXPECT_FALSE(rec.round_open(2));
+}
+
+TEST(RecoveryDriverTest, StaleAnchorReportsAreRejected) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.note_suspected(2);
+  rec.open_round(2, /*anchor=*/10, /*now=*/0);
+  // A reply for a previous round (different anchor) must not count.
+  EXPECT_EQ(rec.record_report(2, /*anchor=*/7, 1, {}), nullptr);
+  EXPECT_FALSE(rec.round_complete(2));
+  // Reports for an unknown dead node are also dropped.
+  EXPECT_EQ(rec.record_report(3, 10, 1, {}), nullptr);
+}
+
+TEST(RecoveryDriverTest, RecoveredPeerVoidsItsOpenRound) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.note_suspected(2);
+  rec.open_round(2, 10, 0);
+  rec.note_recovered(2);
+  // The peer is back with state intact: no verdict may be reached against
+  // it, but past quorum-backed ranges would have survived.
+  EXPECT_FALSE(rec.round_open(2));
+  EXPECT_FALSE(rec.is_suspected(2));
+}
+
+TEST(RecoveryDriverTest, RevokedRangesMergeAndAnswerLookups) {
+  RecoveryDriver rec(/*self=*/0, /*n=*/5, /*cq=*/3);
+  rec.note_revoked_range(1, 10, 20);
+  rec.note_revoked_range(1, 30, 40);
+  rec.note_revoked_range(1, 18, 32);  // bridges the gap: one merged range
+  ASSERT_EQ(rec.revoked_ranges(1).size(), 1u);
+  EXPECT_EQ(rec.revoked_ranges(1)[0].from, 10u);
+  EXPECT_EQ(rec.revoked_ranges(1)[0].upto, 40u);
+
+  EXPECT_TRUE(rec.in_revoked_range(1, 10));
+  EXPECT_TRUE(rec.in_revoked_range(1, 39));
+  EXPECT_FALSE(rec.in_revoked_range(1, 40));  // upto is exclusive
+  EXPECT_FALSE(rec.in_revoked_range(1, 9));
+  EXPECT_FALSE(rec.in_revoked_range(2, 15));  // other owners unaffected
+
+  // revoked_through: first unresolved index at/above the probe.
+  EXPECT_EQ(rec.revoked_through(1, 15), 40u);
+  EXPECT_EQ(rec.revoked_through(1, 40), 40u);
+  EXPECT_EQ(rec.revoked_through(1, 5), 5u);
+
+  // Empty and inverted ranges are ignored.
+  rec.note_revoked_range(1, 50, 50);
+  rec.note_revoked_range(1, 60, 55);
+  EXPECT_EQ(rec.revoked_ranges(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace caesar::rt
